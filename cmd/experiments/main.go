@@ -1,0 +1,27 @@
+// Command experiments regenerates the paper's tables and figures (see
+// DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	experiments [-n instructions] [-seed seed] [-list] [-csv] [-out dir]
+//	            [experiment ...]
+//
+// With no arguments it runs every experiment in label order. -csv prints
+// comma-separated values for tabular experiments (non-tabular ones fall
+// back to text); -out writes each experiment's output to <dir>/<label>.txt
+// (or .csv) instead of stdout.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fomodel/internal/cli"
+)
+
+func main() {
+	if err := cli.Experiments(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

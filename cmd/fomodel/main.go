@@ -1,0 +1,27 @@
+// Command fomodel runs the first-order analytical model on one or more
+// synthetic workloads and prints the CPI stack; with -sim it also runs the
+// detailed cycle-level simulator and reports the model's error, i.e. the
+// paper's Fig. 15/16 for arbitrary configurations.
+//
+// Usage:
+//
+//	fomodel [-n instructions] [-seed seed] [-sim] [-json] [-width 4]
+//	        [-depth 5] [-window 48] [-rob 128] [-clusters K] [-tlb]
+//	        [-fetch-buffer N] [-fu mul=1,load=2]
+//	        [-branch-mode midpoint|isolated|measured]
+//	        [-profile file.json] [workload ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fomodel/internal/cli"
+)
+
+func main() {
+	if err := cli.Fomodel(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "fomodel: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,30 @@
+// Command fosim runs the detailed cycle-level superscalar simulator on a
+// synthetic workload (or a binary trace file) and prints timing and
+// miss-event statistics. It exposes the paper's machine knobs and the
+// ideal/real toggles used throughout the evaluation.
+//
+// Usage:
+//
+//	fosim [-n instructions] [-seed seed] [-width 4] [-depth 5]
+//	      [-window 48] [-rob 128]
+//	      [-ideal-icache] [-ideal-dcache] [-ideal-predictor]
+//	      [-profile file.json] [-dump file | -load file] [workload ...]
+//
+// With -dump the generated trace is written to the file (one workload
+// only) instead of simulated; with -load a previously dumped trace is
+// simulated instead of generating one.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fomodel/internal/cli"
+)
+
+func main() {
+	if err := cli.Fosim(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "fosim: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,51 @@
+// Command report runs the reproduction battery and writes a markdown
+// report with paper-vs-measured verdicts for every checked artifact.
+//
+// Usage:
+//
+//	report [-n instructions] [-seed seed] [-o REPORT.md]
+//
+// With -o "" (default) the report goes to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fomodel/internal/experiments"
+	"fomodel/internal/report"
+)
+
+func main() {
+	n := flag.Int("n", 500000, "dynamic instructions per workload")
+	seed := flag.Uint64("seed", 1, "workload generation seed")
+	out := flag.String("o", "", "output file (default: stdout)")
+	flag.Parse()
+
+	suite := experiments.NewSuite(*n, *seed)
+	r, err := report.Generate(suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "report: %v\n", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := r.Write(w); err != nil {
+		fmt.Fprintf(os.Stderr, "report: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "report: %d/%d checks passed\n", r.Passed, r.Total)
+	if r.Passed < r.Total {
+		os.Exit(2)
+	}
+}

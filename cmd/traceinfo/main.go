@@ -1,0 +1,25 @@
+// Command traceinfo prints the model-facing statistics of one or all
+// synthetic workloads: instruction mix, fitted IW power-law parameters
+// (alpha, beta), average latency L, branch misprediction rate, cache miss
+// rates, and the long-miss overlap factor. It is the quickest way to see
+// the inputs the first-order model consumes (the paper's Table 1 plus §5
+// step 5).
+//
+// Usage:
+//
+//	traceinfo [-n instructions] [-seed seed] [-profile file.json] [workload ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fomodel/internal/cli"
+)
+
+func main() {
+	if err := cli.Traceinfo(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,67 @@
+// CPI stack: the paper's Fig. 16 "stack model" across all twelve
+// SPECint2000-like workloads, rendered as text bars. Because the
+// miss-event penalties add independently (Fig. 2), the model decomposes
+// each benchmark's CPI into where the cycles go — the kind of insight a
+// detailed simulator does not surface directly.
+//
+// Run with:
+//
+//	go run ./examples/cpistack
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"fomodel/internal/experiments"
+)
+
+func main() {
+	suite := experiments.NewSuite(200000, 1)
+	res, err := experiments.Figure16(suite)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const scale = 60 // character cells per CPI
+	fmt.Println("CPI stacks (i=ideal, b=branch, $=L1 I-cache, L=L2 I-cache, D=long D-miss)")
+	fmt.Println()
+	for _, row := range res.Rows {
+		e := row.Estimate
+		bar := strings.Repeat("i", cells(e.SteadyCPI, scale)) +
+			strings.Repeat("$", cells(e.ICacheShortCPI, scale)) +
+			strings.Repeat("L", cells(e.ICacheLongCPI, scale)) +
+			strings.Repeat("D", cells(e.DCacheCPI, scale)) +
+			strings.Repeat("b", cells(e.BranchCPI, scale))
+		fmt.Printf("%-7s %.3f |%s\n", row.Name, e.CPI, bar)
+	}
+	fmt.Println()
+	fmt.Println("dominant component per benchmark:")
+	for _, row := range res.Rows {
+		e := row.Estimate
+		kind, v := "steady-state", e.SteadyCPI
+		for _, c := range []struct {
+			kind string
+			v    float64
+		}{
+			{"branch mispredictions", e.BranchCPI},
+			{"L1 I-cache misses", e.ICacheShortCPI},
+			{"L2 I-cache misses", e.ICacheLongCPI},
+			{"long D-cache misses", e.DCacheCPI},
+		} {
+			if c.v > v {
+				kind, v = c.kind, c.v
+			}
+		}
+		fmt.Printf("  %-7s %-22s (%.0f%% of CPI)\n", row.Name, kind, 100*v/e.CPI)
+	}
+}
+
+func cells(v float64, scale int) int {
+	n := int(v*float64(scale) + 0.5)
+	if v > 0 && n == 0 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,94 @@
+// Custom workloads: the model is only as interesting as the programs you
+// can feed it. This example clones a built-in profile, turns it into a
+// pathological pointer-chaser (every load depends on the previous load —
+// no memory-level parallelism), round-trips it through the JSON profile
+// format that cmd/fosim and cmd/traceinfo accept with -profile, and shows
+// how the IW characteristic and the model react.
+//
+// Run with:
+//
+//	go run ./examples/customworkload
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"fomodel/internal/core"
+	"fomodel/internal/iw"
+	"fomodel/internal/stats"
+	"fomodel/internal/workload"
+)
+
+func main() {
+	base, err := workload.ByName("mcf")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	chaser := base
+	chaser.Name = "chaser"
+	// Tight dependence chains: every source comes from the immediately
+	// preceding instructions.
+	chaser.NoDepFrac = 0.02
+	chaser.DepShortFrac = 0.98
+	chaser.DepShortMean = 1.2
+	chaser.TwoSrcFrac = 0.1
+
+	// Round-trip through the JSON format the CLIs accept.
+	dir, err := os.MkdirTemp("", "fomodel-custom")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "chaser.json")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := workload.WriteProfile(f, chaser); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("profile written to %s (usable as: go run ./cmd/fosim -profile <file>)\n\n", path)
+
+	for _, prof := range []workload.Profile{base, chaser} {
+		g, err := workload.NewGenerator(prof, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := g.Generate(150000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		points, err := iw.Characteristic(tr, iw.DefaultWindows(), iw.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		law, err := iw.Fit(points)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scfg := stats.DefaultConfig()
+		scfg.Warmup = true
+		sum, err := stats.Analyze(tr, scfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		machine := core.DefaultMachine()
+		in, err := core.InputsFromCurve(law, points, machine.WindowSize, sum)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := machine.Estimate(in, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s alpha %.2f  beta %.2f  L %.2f  →  steady IPC %.2f, modeled CPI %.3f\n",
+			prof.Name, law.Alpha, law.Beta, sum.AvgLatency, est.SteadyIPC, est.CPI)
+	}
+	fmt.Println("\ntightening the dependence chains collapses beta — the window stops helping,")
+	fmt.Println("the steady state sinks, and every miss-event transient rides on a slower curve.")
+}

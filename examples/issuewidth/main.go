@@ -1,0 +1,78 @@
+// Issue width study: the paper's §6.2 analysis of what branch prediction
+// must deliver for wide issue to pay off. Two results, both straight from
+// the analytical model:
+//
+//   - Fig. 18: to keep the same fraction of time issuing near peak after
+//     doubling the issue width, the number of instructions between branch
+//     mispredictions must roughly quadruple — prediction accuracy must
+//     improve as the *square* of the width.
+//   - Fig. 19: with a typical misprediction distance of 100 instructions,
+//     an 8-wide machine barely ramps past an issue rate of 6 before the
+//     next misprediction arrives.
+//
+// Run with:
+//
+//	go run ./examples/issuewidth
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"fomodel/internal/core"
+)
+
+func main() {
+	fractions := []float64{0.10, 0.20, 0.30, 0.40, 0.50}
+	const depth = 5
+
+	fmt.Println("Fig. 18 — instructions between mispredictions required to spend a given")
+	fmt.Println("fraction of time within 12.5% of the issue width:")
+	fmt.Printf("%12s", "width:")
+	widths := []int{4, 8, 16}
+	for _, w := range widths {
+		fmt.Printf("%10d", w)
+	}
+	fmt.Println()
+	reqs := map[int][]core.WidthRequirement{}
+	for _, w := range widths {
+		r, err := core.IssueWidthStudy(w, depth, fractions)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reqs[w] = r
+	}
+	for i, f := range fractions {
+		fmt.Printf("%10.0f%%:", 100*f)
+		for _, w := range widths {
+			fmt.Printf("%10.0f", reqs[w][i].InstrBetweenMispredicts)
+		}
+		fmt.Println()
+	}
+	mid := len(fractions) / 2
+	fmt.Printf("\n4→8 ratio %.1f×, 8→16 ratio %.1f× — the quadratic law.\n\n",
+		reqs[8][mid].InstrBetweenMispredicts/reqs[4][mid].InstrBetweenMispredicts,
+		reqs[16][mid].InstrBetweenMispredicts/reqs[8][mid].InstrBetweenMispredicts)
+
+	fmt.Println("Fig. 19 — per-cycle issue rate between two mispredictions 100 instructions apart:")
+	for _, w := range []int{2, 3, 4, 8} {
+		curve := core.IWCurve{Alpha: 1, Beta: 0.5, L: 1, Width: float64(w)}
+		pts := curve.RampIssueTrace(depth, 100)
+		var sb strings.Builder
+		peak := 0.0
+		glyphs := []rune(" ▁▂▃▄▅▆▇█")
+		for _, p := range pts {
+			g := int(p.Issue / 8 * float64(len(glyphs)-1))
+			if g >= len(glyphs) {
+				g = len(glyphs) - 1
+			}
+			sb.WriteRune(glyphs[g])
+			if p.Issue > peak {
+				peak = p.Issue
+			}
+		}
+		fmt.Printf("  width %d (%2d cycles, peak %.2f): %s\n", w, len(pts), peak, sb.String())
+	}
+	fmt.Println("\nwider machines finish the 100 instructions sooner but never reach their width.")
+}

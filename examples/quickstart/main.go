@@ -1,0 +1,90 @@
+// Quickstart: the complete first-order modeling pipeline on one workload.
+//
+// It walks the paper's §5 procedure end to end:
+//
+//  1. generate a synthetic SPECint-like instruction trace,
+//  2. measure the IW characteristic and fit the power law (Table 1),
+//  3. gather miss-event statistics by functional trace analysis,
+//  4. run the analytical model (equations 1–8), and
+//  5. check it against the detailed cycle-level simulator.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fomodel/internal/core"
+	"fomodel/internal/iw"
+	"fomodel/internal/stats"
+	"fomodel/internal/uarch"
+	"fomodel/internal/workload"
+)
+
+func main() {
+	const (
+		bench = "gzip"
+		n     = 200000
+		seed  = 1
+	)
+
+	// 1. Synthesize the dynamic instruction trace.
+	tr, err := workload.Generate(bench, n, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %d dynamic instructions\n", bench, tr.Len())
+
+	// 2. IW characteristic: idealized window-limited simulation, then the
+	// power-law fit of the paper's Table 1.
+	points, err := iw.Characteristic(tr, iw.DefaultWindows(), iw.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	law, err := iw.Fit(points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IW power law: I = %.2f * W^%.2f  (R² %.3f)\n", law.Alpha, law.Beta, law.R2)
+
+	// 3. Functional trace analysis: cache and predictor miss rates plus
+	// the long-miss clustering distribution.
+	scfg := stats.DefaultConfig()
+	scfg.Warmup = true
+	sum, err := stats.Analyze(tr, scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("avg latency L = %.2f, mispredicts %.2f%%/branch, long D-misses %.2f/k-instr (overlap %.2f)\n",
+		sum.AvgLatency, 100*sum.MispredictRate(),
+		1000*sum.DCacheLongPerInstr(), sum.OverlapFactor())
+
+	// 4. The first-order model on the paper's baseline machine.
+	machine := core.DefaultMachine()
+	inputs, err := core.InputsFromCurve(law, points, machine.WindowSize, sum)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := machine.Estimate(inputs, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmodel CPI stack:\n")
+	fmt.Printf("  steady state   %.3f\n", est.SteadyCPI)
+	fmt.Printf("  branch misp.   %.3f  (%.1f cycles/event)\n", est.BranchCPI, est.BranchPenalty)
+	fmt.Printf("  L1 I-cache     %.3f  (%.1f cycles/event)\n", est.ICacheShortCPI, est.ICacheShortPenalty)
+	fmt.Printf("  L2 I-cache     %.3f\n", est.ICacheLongCPI)
+	fmt.Printf("  long D-miss    %.3f  (%.1f cycles/event)\n", est.DCacheCPI, est.DCachePenalty)
+	fmt.Printf("  total          %.3f\n", est.CPI)
+
+	// 5. Detailed simulation for reference.
+	r, err := uarch.Simulate(tr, uarch.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndetailed simulator CPI: %.3f  → model error %+.1f%%\n",
+		r.CPI(), 100*(est.CPI-r.CPI())/r.CPI())
+}

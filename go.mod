@@ -1,0 +1,3 @@
+module fomodel
+
+go 1.22

@@ -1,0 +1,321 @@
+// Package cache implements the set-associative caches and the two-level
+// hierarchy of the paper's baseline machine: 4 KB 4-way L1 instruction and
+// data caches and a unified 512 KB 4-way L2, all with 128-byte lines, LRU
+// replacement, and no prefetching (the paper explicitly excludes it).
+//
+// The hierarchy classifies every access the way the model needs it
+// classified: an L1 hit, a "short" miss (L1 miss that hits in L2, modeled
+// by the paper as a long-latency functional unit), or a "long" miss (L2
+// miss, which blocks retirement).
+package cache
+
+import "fmt"
+
+// Result classifies one cache-hierarchy access.
+type Result uint8
+
+const (
+	// Hit means the access hit in L1.
+	Hit Result = iota
+	// ShortMiss means the access missed in L1 but hit in L2.
+	ShortMiss
+	// LongMiss means the access missed in L2 and goes to memory.
+	LongMiss
+)
+
+// String names the result.
+func (r Result) String() string {
+	switch r {
+	case Hit:
+		return "hit"
+	case ShortMiss:
+		return "short-miss"
+	case LongMiss:
+		return "long-miss"
+	default:
+		return fmt.Sprintf("result(%d)", uint8(r))
+	}
+}
+
+// Config describes one cache level.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes uint64
+	// Assoc is the set associativity.
+	Assoc int
+	// LineBytes is the line size; must be a power of two.
+	LineBytes uint64
+}
+
+// Validate reports the first structural problem with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes == 0:
+		return fmt.Errorf("cache: zero size")
+	case c.Assoc <= 0:
+		return fmt.Errorf("cache: non-positive associativity %d", c.Assoc)
+	case c.LineBytes == 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	case c.SizeBytes%(uint64(c.Assoc)*c.LineBytes) != 0:
+		return fmt.Errorf("cache: size %d not divisible by assoc %d × line %d", c.SizeBytes, c.Assoc, c.LineBytes)
+	}
+	sets := c.Sets()
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() uint64 { return c.SizeBytes / (uint64(c.Assoc) * c.LineBytes) }
+
+// Cache is a single-level set-associative LRU cache. Tags are stored per
+// way; recency is tracked with a per-line stamp, which is simple and exact
+// for the associativities used here.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	tags      []uint64 // sets × assoc
+	valid     []bool
+	stamp     []uint64
+	clock     uint64
+
+	// Accesses and Misses count every Access call.
+	Accesses uint64
+	Misses   uint64
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	shift := uint(0)
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		shift++
+	}
+	n := cfg.Sets() * uint64(cfg.Assoc)
+	return &Cache{
+		cfg:       cfg,
+		lineShift: shift,
+		setMask:   cfg.Sets() - 1,
+		tags:      make([]uint64, n),
+		valid:     make([]bool, n),
+		stamp:     make([]uint64, n),
+	}, nil
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access looks up addr, updating LRU state, and on a miss fills the line.
+// It returns true on a hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.Accesses++
+	c.clock++
+	line := addr >> c.lineShift
+	set := line & c.setMask
+	base := int(set) * c.cfg.Assoc
+	victim := base
+	oldest := ^uint64(0)
+	for w := 0; w < c.cfg.Assoc; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.stamp[i] = c.clock
+			return true
+		}
+		if !c.valid[i] {
+			// Prefer an invalid way; stamp 0 loses to any valid line.
+			if oldest != 0 {
+				victim, oldest = i, 0
+			}
+			continue
+		}
+		if c.stamp[i] < oldest {
+			victim, oldest = i, c.stamp[i]
+		}
+	}
+	c.Misses++
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.stamp[victim] = c.clock
+	return false
+}
+
+// Probe reports whether addr currently hits, without updating any state.
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := line & c.setMask
+	base := int(set) * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.stamp[i] = 0
+	}
+	c.clock = 0
+	c.Accesses = 0
+	c.Misses = 0
+}
+
+// MissRate returns Misses/Accesses, or 0 for an untouched cache.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// HierarchyConfig describes a two-level hierarchy with split L1s and a
+// unified L2, plus the latencies the model and simulator charge.
+type HierarchyConfig struct {
+	L1I, L1D, L2 Config
+	// ShortMissLatency is the L2 hit latency (the paper's ΔI, 8 cycles).
+	ShortMissLatency int
+	// LongMissLatency is the memory latency (the paper's ΔD, 200 cycles).
+	LongMissLatency int
+}
+
+// DefaultHierarchy returns the paper's baseline hierarchy: 4 KB 4-way
+// 128 B-line L1s, a 512 KB 4-way 128 B-line unified L2, ΔI = 8 and
+// ΔD = 200 cycles.
+func DefaultHierarchy() HierarchyConfig {
+	l1 := Config{SizeBytes: 4 << 10, Assoc: 4, LineBytes: 128}
+	return HierarchyConfig{
+		L1I:              l1,
+		L1D:              l1,
+		L2:               Config{SizeBytes: 512 << 10, Assoc: 4, LineBytes: 128},
+		ShortMissLatency: 8,
+		LongMissLatency:  200,
+	}
+}
+
+// Latency converts a result into added latency in cycles beyond the L1 hit
+// time: 0 for a hit, the L2 latency for a short miss, and the memory
+// latency for a long miss.
+func (h HierarchyConfig) Latency(r Result) int {
+	switch r {
+	case ShortMiss:
+		return h.ShortMissLatency
+	case LongMiss:
+		return h.LongMissLatency
+	default:
+		return 0
+	}
+}
+
+// Validate checks every level and the latencies.
+func (h HierarchyConfig) Validate() error {
+	if err := h.L1I.Validate(); err != nil {
+		return fmt.Errorf("L1I: %w", err)
+	}
+	if err := h.L1D.Validate(); err != nil {
+		return fmt.Errorf("L1D: %w", err)
+	}
+	if err := h.L2.Validate(); err != nil {
+		return fmt.Errorf("L2: %w", err)
+	}
+	if h.ShortMissLatency <= 0 || h.LongMissLatency <= 0 {
+		return fmt.Errorf("cache: non-positive miss latencies (%d, %d)", h.ShortMissLatency, h.LongMissLatency)
+	}
+	return nil
+}
+
+// Hierarchy is a two-level cache hierarchy with split L1 caches and a
+// unified L2.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	l1i *Cache
+	l1d *Cache
+	l2  *Cache
+
+	// Per-side access/miss counters, indexed by side then Result.
+	IFetches, IShort, ILong  uint64
+	DAccesses, DShort, DLong uint64
+}
+
+// NewHierarchy builds a hierarchy from cfg.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l1i, err := New(cfg.L1I)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := New(cfg.L1D)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := New(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{cfg: cfg, l1i: l1i, l1d: l1d, l2: l2}, nil
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// Fetch performs an instruction fetch at pc.
+func (h *Hierarchy) Fetch(pc uint64) Result {
+	h.IFetches++
+	if h.l1i.Access(pc) {
+		return Hit
+	}
+	if h.l2.Access(pc) {
+		h.IShort++
+		return ShortMiss
+	}
+	h.ILong++
+	return LongMiss
+}
+
+// Data performs a load or store access at addr. Stores are modeled as
+// allocating (write-allocate, write-back) so they warm the hierarchy like
+// loads do.
+func (h *Hierarchy) Data(addr uint64) Result {
+	h.DAccesses++
+	if h.l1d.Access(addr) {
+		return Hit
+	}
+	if h.l2.Access(addr) {
+		h.DShort++
+		return ShortMiss
+	}
+	h.DLong++
+	return LongMiss
+}
+
+// Latency converts a result into an added latency in cycles beyond the L1
+// hit time (see HierarchyConfig.Latency).
+func (h *Hierarchy) Latency(r Result) int { return h.cfg.Latency(r) }
+
+// Reset clears all cache contents and statistics.
+func (h *Hierarchy) Reset() {
+	h.l1i.Reset()
+	h.l1d.Reset()
+	h.l2.Reset()
+	h.ResetStats()
+}
+
+// ResetStats clears the hierarchy's statistics but keeps cache contents.
+// Used after a warmup pass so measured miss rates exclude compulsory
+// cold-start misses.
+func (h *Hierarchy) ResetStats() {
+	h.l1i.Accesses, h.l1i.Misses = 0, 0
+	h.l1d.Accesses, h.l1d.Misses = 0, 0
+	h.l2.Accesses, h.l2.Misses = 0, 0
+	h.IFetches, h.IShort, h.ILong = 0, 0, 0
+	h.DAccesses, h.DShort, h.DLong = 0, 0, 0
+}

@@ -1,0 +1,239 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustCache(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{SizeBytes: 4 << 10, Assoc: 4, LineBytes: 128}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{SizeBytes: 0, Assoc: 4, LineBytes: 128},
+		{SizeBytes: 4096, Assoc: 0, LineBytes: 128},
+		{SizeBytes: 4096, Assoc: 4, LineBytes: 100},        // not power of two
+		{SizeBytes: 4096 + 128, Assoc: 4, LineBytes: 128},  // not divisible
+		{SizeBytes: 3 * 4 * 128, Assoc: 4, LineBytes: 128}, // 3 sets
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSets(t *testing.T) {
+	cfg := Config{SizeBytes: 4 << 10, Assoc: 4, LineBytes: 128}
+	if got := cfg.Sets(); got != 8 {
+		t.Fatalf("sets %d, want 8", got)
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 1024, Assoc: 2, LineBytes: 64})
+	if c.Access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x1038) { // same 64-byte line
+		t.Fatal("same-line access missed")
+	}
+	if c.Accesses != 3 || c.Misses != 1 {
+		t.Fatalf("counters %d/%d", c.Accesses, c.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way, 64-byte lines, 2 sets → same set for addresses 128 apart.
+	c := mustCache(t, Config{SizeBytes: 256, Assoc: 2, LineBytes: 64})
+	a, b, d := uint64(0), uint64(256), uint64(512) // all map to set 0
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a is now MRU
+	c.Access(d) // evicts b (LRU)
+	if !c.Probe(a) {
+		t.Fatal("a evicted, want kept (MRU)")
+	}
+	if c.Probe(b) {
+		t.Fatal("b kept, want evicted (LRU)")
+	}
+	if !c.Probe(d) {
+		t.Fatal("d not resident after fill")
+	}
+}
+
+func TestProbeDoesNotMutate(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 256, Assoc: 2, LineBytes: 64})
+	c.Access(0)
+	c.Access(256)
+	c.Probe(0) // must not refresh recency
+	before := c.Misses
+	c.Access(512) // evicts the true LRU: 0
+	if c.Probe(0) {
+		t.Fatal("probe refreshed recency")
+	}
+	if c.Misses != before+1 {
+		t.Fatal("probe affected counters")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 256, Assoc: 2, LineBytes: 64})
+	c.Access(0)
+	c.Reset()
+	if c.Accesses != 0 || c.Misses != 0 {
+		t.Fatal("counters survived reset")
+	}
+	if c.Probe(0) {
+		t.Fatal("contents survived reset")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 256, Assoc: 2, LineBytes: 64})
+	if c.MissRate() != 0 {
+		t.Fatal("untouched cache has non-zero miss rate")
+	}
+	c.Access(0)
+	c.Access(0)
+	if got := c.MissRate(); got != 0.5 {
+		t.Fatalf("miss rate %v, want 0.5", got)
+	}
+}
+
+func TestFullyAssociativeNeverConflicts(t *testing.T) {
+	// 8 lines, 8-way → one set; 8 distinct lines must all be resident.
+	c := mustCache(t, Config{SizeBytes: 512, Assoc: 8, LineBytes: 64})
+	for i := uint64(0); i < 8; i++ {
+		c.Access(i * 64)
+	}
+	for i := uint64(0); i < 8; i++ {
+		if !c.Probe(i * 64) {
+			t.Fatalf("line %d evicted from fully associative cache", i)
+		}
+	}
+}
+
+func TestHierarchyClassification(t *testing.T) {
+	h, err := NewHierarchy(DefaultHierarchy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Data(0x10000); got != LongMiss {
+		t.Fatalf("cold access %v, want long miss", got)
+	}
+	if got := h.Data(0x10000); got != Hit {
+		t.Fatalf("warm access %v, want hit", got)
+	}
+	if got := h.Fetch(0x400000); got != LongMiss {
+		t.Fatalf("cold fetch %v, want long miss", got)
+	}
+	if got := h.Fetch(0x400000); got != Hit {
+		t.Fatalf("warm fetch %v", got)
+	}
+	if h.IFetches != 2 || h.ILong != 1 {
+		t.Fatalf("fetch counters %d/%d", h.IFetches, h.ILong)
+	}
+}
+
+func TestHierarchyShortMiss(t *testing.T) {
+	h, err := NewHierarchy(DefaultHierarchy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := uint64(0x30000)
+	h.Data(addr) // long miss, now in L1+L2
+	// Evict addr from L1 by filling its set (8 sets × 128 B lines → same
+	// set every 1024 bytes); L2 has 1024 sets so these do not conflict
+	// there.
+	for i := uint64(1); i <= 4; i++ {
+		h.Data(addr + i*1024)
+	}
+	if got := h.Data(addr); got != ShortMiss {
+		t.Fatalf("expected short miss after L1 eviction, got %v", got)
+	}
+	if h.DShort != 1 {
+		t.Fatalf("DShort %d, want 1", h.DShort)
+	}
+}
+
+func TestHierarchyLatency(t *testing.T) {
+	cfg := DefaultHierarchy()
+	if cfg.Latency(Hit) != 0 || cfg.Latency(ShortMiss) != 8 || cfg.Latency(LongMiss) != 200 {
+		t.Fatal("latency mapping wrong")
+	}
+}
+
+func TestHierarchyValidate(t *testing.T) {
+	cfg := DefaultHierarchy()
+	cfg.ShortMissLatency = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("zero short-miss latency accepted")
+	}
+	cfg = DefaultHierarchy()
+	cfg.L2.LineBytes = 100
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("bad L2 accepted")
+	}
+}
+
+func TestHierarchyResetStats(t *testing.T) {
+	h, err := NewHierarchy(DefaultHierarchy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Data(0x1000)
+	h.ResetStats()
+	if h.DAccesses != 0 || h.DLong != 0 {
+		t.Fatal("stats survived ResetStats")
+	}
+	if got := h.Data(0x1000); got != Hit {
+		t.Fatalf("contents did not survive ResetStats: %v", got)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if Hit.String() != "hit" || ShortMiss.String() != "short-miss" || LongMiss.String() != "long-miss" {
+		t.Fatal("result strings wrong")
+	}
+	if Result(9).String() == "" {
+		t.Fatal("unknown result empty")
+	}
+}
+
+func TestPropertyMissesNeverExceedAccesses(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 512, Assoc: 2, LineBytes: 64})
+	f := func(addrs []uint16) bool {
+		for _, a := range addrs {
+			c.Access(uint64(a))
+		}
+		return c.Misses <= c.Accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyImmediateRehitAlwaysHits(t *testing.T) {
+	c := mustCache(t, Config{SizeBytes: 1024, Assoc: 4, LineBytes: 64})
+	f := func(a uint32) bool {
+		c.Access(uint64(a))
+		return c.Access(uint64(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

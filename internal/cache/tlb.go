@@ -1,0 +1,120 @@
+package cache
+
+import "fmt"
+
+// TLBConfig describes a data TLB — one of the paper's §7 "new features":
+// TLB misses act much like long data cache misses, stalling retirement for
+// a page-walk latency.
+type TLBConfig struct {
+	// Entries is the number of TLB entries (fully associative, LRU).
+	Entries int
+	// PageBytes is the page size; must be a power of two.
+	PageBytes uint64
+	// MissLatency is the page-walk latency in cycles.
+	MissLatency int
+}
+
+// DefaultTLB returns a 64-entry, 4 KB-page TLB with an 80-cycle walk.
+// The walk latency deliberately exceeds the baseline machine's maximum
+// ROB fill time (rob_size/dispatch_width = 32 cycles), putting TLB misses
+// in the paper's "long" category — they block retirement rather than
+// being absorbed like long-latency functional units.
+func DefaultTLB() TLBConfig {
+	return TLBConfig{Entries: 64, PageBytes: 4 << 10, MissLatency: 80}
+}
+
+// Validate reports the first structural problem with the configuration.
+func (c TLBConfig) Validate() error {
+	switch {
+	case c.Entries <= 0:
+		return fmt.Errorf("tlb: non-positive entry count %d", c.Entries)
+	case c.PageBytes == 0 || c.PageBytes&(c.PageBytes-1) != 0:
+		return fmt.Errorf("tlb: page size %d not a power of two", c.PageBytes)
+	case c.MissLatency <= 0:
+		return fmt.Errorf("tlb: non-positive miss latency %d", c.MissLatency)
+	}
+	return nil
+}
+
+// TLB is a fully associative, LRU translation lookaside buffer.
+type TLB struct {
+	cfg       TLBConfig
+	pageShift uint
+	pages     []uint64
+	stamp     []uint64
+	valid     []bool
+	clock     uint64
+
+	// Accesses and Misses count every Access call.
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewTLB builds a TLB from cfg.
+func NewTLB(cfg TLBConfig) (*TLB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	shift := uint(0)
+	for p := cfg.PageBytes; p > 1; p >>= 1 {
+		shift++
+	}
+	return &TLB{
+		cfg:       cfg,
+		pageShift: shift,
+		pages:     make([]uint64, cfg.Entries),
+		stamp:     make([]uint64, cfg.Entries),
+		valid:     make([]bool, cfg.Entries),
+	}, nil
+}
+
+// Config returns the TLB geometry.
+func (t *TLB) Config() TLBConfig { return t.cfg }
+
+// Access translates addr, filling on a miss, and reports a hit.
+func (t *TLB) Access(addr uint64) bool {
+	t.Accesses++
+	t.clock++
+	page := addr >> t.pageShift
+	victim := 0
+	oldest := ^uint64(0)
+	for i := range t.pages {
+		if t.valid[i] && t.pages[i] == page {
+			t.stamp[i] = t.clock
+			return true
+		}
+		if !t.valid[i] {
+			if oldest != 0 {
+				victim, oldest = i, 0
+			}
+			continue
+		}
+		if t.stamp[i] < oldest {
+			victim, oldest = i, t.stamp[i]
+		}
+	}
+	t.Misses++
+	t.pages[victim] = page
+	t.valid[victim] = true
+	t.stamp[victim] = t.clock
+	return false
+}
+
+// MissRate returns Misses/Accesses, or 0 for an untouched TLB.
+func (t *TLB) MissRate() float64 {
+	if t.Accesses == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(t.Accesses)
+}
+
+// Reset invalidates all entries and clears statistics.
+func (t *TLB) Reset() {
+	for i := range t.valid {
+		t.valid[i] = false
+		t.stamp[i] = 0
+	}
+	t.clock = 0
+	t.Accesses = 0
+	t.Misses = 0
+}

@@ -1,0 +1,85 @@
+package cache
+
+import "testing"
+
+func TestTLBConfigValidate(t *testing.T) {
+	if err := DefaultTLB().Validate(); err != nil {
+		t.Fatalf("default TLB invalid: %v", err)
+	}
+	bad := []TLBConfig{
+		{Entries: 0, PageBytes: 4096, MissLatency: 10},
+		{Entries: 4, PageBytes: 1000, MissLatency: 10},
+		{Entries: 4, PageBytes: 4096, MissLatency: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad TLB config %d accepted", i)
+		}
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb, err := NewTLB(TLBConfig{Entries: 2, PageBytes: 4096, MissLatency: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tlb.Access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !tlb.Access(0x1800) { // same 4 KB page
+		t.Fatal("same-page access missed")
+	}
+	if !tlb.Access(0x1000) {
+		t.Fatal("re-access missed")
+	}
+	if tlb.Accesses != 3 || tlb.Misses != 1 {
+		t.Fatalf("counters %d/%d", tlb.Accesses, tlb.Misses)
+	}
+}
+
+func TestTLBLRU(t *testing.T) {
+	tlb, err := NewTLB(TLBConfig{Entries: 2, PageBytes: 4096, MissLatency: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlb.Access(0x0000) // page 0
+	tlb.Access(0x1000) // page 1
+	tlb.Access(0x0000) // page 0 is MRU
+	tlb.Access(0x2000) // evicts page 1 (LRU)
+	if !tlb.Access(0x0000) {
+		t.Fatal("MRU page was evicted")
+	}
+	if tlb.Access(0x1000) {
+		t.Fatal("LRU page survived eviction")
+	}
+}
+
+func TestTLBDefaultExceedsROBFill(t *testing.T) {
+	// The design invariant documented on DefaultTLB: the walk must exceed
+	// the baseline ROB fill time (128/4 = 32 cycles) so misses are "long".
+	if DefaultTLB().MissLatency <= 32 {
+		t.Fatalf("default TLB walk %d does not exceed the ROB fill time", DefaultTLB().MissLatency)
+	}
+}
+
+func TestTLBMissRateAndReset(t *testing.T) {
+	tlb, err := NewTLB(DefaultTLB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tlb.MissRate() != 0 {
+		t.Fatal("untouched TLB has non-zero miss rate")
+	}
+	tlb.Access(0x1000)
+	tlb.Access(0x1000)
+	if tlb.MissRate() != 0.5 {
+		t.Fatalf("miss rate %v", tlb.MissRate())
+	}
+	tlb.Reset()
+	if tlb.Accesses != 0 || tlb.Access(0x1000) {
+		t.Fatal("reset did not clear state")
+	}
+	if tlb.Config().Entries != DefaultTLB().Entries {
+		t.Fatal("config accessor wrong")
+	}
+}

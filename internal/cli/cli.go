@@ -1,0 +1,396 @@
+// Package cli implements the command-line tools (traceinfo, fosim,
+// fomodel, experiments) as testable functions: each takes its argument
+// list and an output writer and returns an error instead of exiting, so
+// the thin mains in cmd/ stay untested-by-necessity while the behaviour
+// lives under test here.
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"fomodel/internal/cache"
+	"fomodel/internal/core"
+	"fomodel/internal/isa"
+	"fomodel/internal/iw"
+	"fomodel/internal/stats"
+	"fomodel/internal/trace"
+	"fomodel/internal/uarch"
+	"fomodel/internal/workload"
+)
+
+// loadWorkloads resolves the tool's workload selection: an explicit
+// -profile file, named profiles, or all profiles.
+func loadWorkloads(profilePath string, names []string, n int, seed uint64) ([]*trace.Trace, error) {
+	if profilePath != "" {
+		f, err := os.Open(profilePath)
+		if err != nil {
+			return nil, err
+		}
+		p, err := workload.ReadProfile(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		g, err := workload.NewGenerator(p, seed)
+		if err != nil {
+			return nil, err
+		}
+		t, err := g.Generate(n)
+		if err != nil {
+			return nil, err
+		}
+		return []*trace.Trace{t}, nil
+	}
+	if len(names) == 0 {
+		names = workload.Names()
+	}
+	traces := make([]*trace.Trace, 0, len(names))
+	for _, name := range names {
+		t, err := workload.Generate(name, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		traces = append(traces, t)
+	}
+	return traces, nil
+}
+
+// Traceinfo implements cmd/traceinfo: the model-facing statistics of each
+// workload.
+func Traceinfo(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("traceinfo", flag.ContinueOnError)
+	fs.SetOutput(out)
+	n := fs.Int("n", 200000, "dynamic instructions per workload")
+	seed := fs.Uint64("seed", 1, "workload generation seed")
+	profile := fs.String("profile", "", "JSON profile file instead of named workloads")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	traces, err := loadWorkloads(*profile, fs.Args(), *n, *seed)
+	if err != nil {
+		return err
+	}
+
+	tw := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "bench\talpha\tbeta\tR2\tL\tbr/instr\tmisp%\tiL1miss/ki\tiL2miss/ki\tdShort/ki\tdLong/ki\toverlap")
+	for _, t := range traces {
+		points, err := iw.Characteristic(t, iw.DefaultWindows(), iw.Options{})
+		if err != nil {
+			return err
+		}
+		law, err := iw.Fit(points)
+		if err != nil {
+			return err
+		}
+		cfg := stats.DefaultConfig()
+		cfg.Warmup = true
+		sum, err := stats.Analyze(t, cfg)
+		if err != nil {
+			return err
+		}
+		ki := float64(sum.Instructions) / 1000
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.3f\t%.2f\t%.3f\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			t.Name, law.Alpha, law.Beta, law.R2, sum.AvgLatency,
+			float64(sum.Branches)/float64(sum.Instructions),
+			100*sum.MispredictRate(),
+			float64(sum.ICacheShort)/ki, float64(sum.ICacheLong)/ki,
+			float64(sum.DCacheShort)/ki, float64(sum.DCacheLong)/ki,
+			sum.OverlapFactor())
+	}
+	return tw.Flush()
+}
+
+// machineFlags registers the shared machine-parameter flags, including
+// the §7 extensions (clusters, fetch buffer, TLB, FU limits).
+type machineFlags struct {
+	width, depth, window, rob *int
+	clusters, bypass, fetbuf  *int
+	tlb                       *bool
+	fu                        *string
+}
+
+func addMachineFlags(fs *flag.FlagSet) machineFlags {
+	return machineFlags{
+		width:    fs.Int("width", 4, "fetch/dispatch/issue/retire width"),
+		depth:    fs.Int("depth", 5, "front-end pipeline depth"),
+		window:   fs.Int("window", 48, "issue window size"),
+		rob:      fs.Int("rob", 128, "reorder buffer size"),
+		clusters: fs.Int("clusters", 1, "issue window partitions (>1 adds bypass latency)"),
+		bypass:   fs.Int("bypass", 1, "cross-cluster bypass latency in cycles"),
+		fetbuf:   fs.Int("fetch-buffer", 0, "fetch buffer entries beyond the pipeline"),
+		tlb:      fs.Bool("tlb", false, "add the default 64-entry data TLB"),
+		fu:       fs.String("fu", "", "per-class issue limits, e.g. mul=1,load=2"),
+	}
+}
+
+// parseFUCounts parses "class=count" pairs.
+func parseFUCounts(s string) ([isa.NumClasses]int, error) {
+	var fu [isa.NumClasses]int
+	if s == "" {
+		return fu, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		name, countStr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return fu, fmt.Errorf("cli: malformed FU limit %q (want class=count)", pair)
+		}
+		count, err := strconv.Atoi(countStr)
+		if err != nil || count < 1 {
+			return fu, fmt.Errorf("cli: bad FU count in %q", pair)
+		}
+		found := false
+		for c := isa.Class(0); c < isa.NumClasses; c++ {
+			if c.String() == name {
+				fu[c] = count
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fu, fmt.Errorf("cli: unknown instruction class %q", name)
+		}
+	}
+	return fu, nil
+}
+
+func (m machineFlags) simConfig() (uarch.Config, error) {
+	cfg := uarch.DefaultConfig()
+	cfg.Width = *m.width
+	cfg.FrontEndDepth = *m.depth
+	cfg.WindowSize = *m.window
+	cfg.ROBSize = *m.rob
+	if *m.clusters > 1 {
+		cfg.Clusters = *m.clusters
+		cfg.BypassLatency = *m.bypass
+	}
+	cfg.FetchBufferSize = *m.fetbuf
+	if *m.tlb {
+		t := cache.DefaultTLB()
+		cfg.TLB = &t
+	}
+	fu, err := parseFUCounts(*m.fu)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.FUCounts = fu
+	return cfg, nil
+}
+
+func (m machineFlags) machine() (core.Machine, error) {
+	mc := core.DefaultMachine()
+	mc.Width = *m.width
+	mc.FrontEndDepth = *m.depth
+	mc.WindowSize = *m.window
+	mc.ROBSize = *m.rob
+	if *m.clusters > 1 {
+		mc.Clusters = *m.clusters
+		mc.BypassLatency = *m.bypass
+	}
+	mc.FetchBuffer = *m.fetbuf
+	if *m.tlb {
+		mc.TLBMissLatency = cache.DefaultTLB().MissLatency
+	}
+	fu, err := parseFUCounts(*m.fu)
+	if err != nil {
+		return mc, err
+	}
+	mc.FUCounts = fu
+	return mc, nil
+}
+
+// Fosim implements cmd/fosim: the detailed simulator.
+func Fosim(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fosim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	n := fs.Int("n", 500000, "dynamic instructions per workload")
+	seed := fs.Uint64("seed", 1, "workload generation seed")
+	mf := addMachineFlags(fs)
+	idealI := fs.Bool("ideal-icache", false, "disable I-cache stalls")
+	idealD := fs.Bool("ideal-dcache", false, "disable D-cache miss latencies")
+	idealP := fs.Bool("ideal-predictor", false, "disable branch misprediction breaks")
+	dump := fs.String("dump", "", "write the generated trace to this file and exit")
+	load := fs.String("load", "", "simulate a trace file instead of generating one")
+	profile := fs.String("profile", "", "JSON profile file instead of named workloads")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := mf.simConfig()
+	if err != nil {
+		return err
+	}
+	cfg.IdealICache = *idealI
+	cfg.IdealDCache = *idealD
+	cfg.IdealPredictor = *idealP
+
+	var traces []*trace.Trace
+	switch {
+	case *load != "":
+		f, err := os.Open(*load)
+		if err != nil {
+			return err
+		}
+		t, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		traces = []*trace.Trace{t}
+	default:
+		var err error
+		traces, err = loadWorkloads(*profile, fs.Args(), *n, *seed)
+		if err != nil {
+			return err
+		}
+	}
+
+	if *dump != "" {
+		if len(traces) != 1 {
+			return fmt.Errorf("-dump requires exactly one workload, got %d", len(traces))
+		}
+		f, err := os.Create(*dump)
+		if err != nil {
+			return err
+		}
+		if err := trace.Write(f, traces[0]); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	tw := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "bench\tinstrs\tcycles\tIPC\tCPI\tmisp\tiShort\tiLong\tdShort\tdLong\tavgWin\tavgROB")
+	for _, t := range traces {
+		r, err := uarch.Simulate(t, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%.3f\t%d\t%d\t%d\t%d\t%d\t%.1f\t%.1f\n",
+			t.Name, r.Instructions, r.Cycles, r.IPC(), r.CPI(),
+			r.Mispredicts, r.ICacheShort, r.ICacheLong, r.DCacheShort, r.DCacheLong,
+			r.AvgWindowOccupancy(), r.AvgROBOccupancy())
+	}
+	return tw.Flush()
+}
+
+// Fomodel implements cmd/fomodel: the analytical model, optionally
+// validated against the simulator.
+func Fomodel(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fomodel", flag.ContinueOnError)
+	fs.SetOutput(out)
+	n := fs.Int("n", 500000, "dynamic instructions per workload")
+	seed := fs.Uint64("seed", 1, "workload generation seed")
+	sim := fs.Bool("sim", false, "also run the detailed simulator and report model error")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per workload instead of the table")
+	branchMode := fs.String("branch-mode", "midpoint", "branch penalty derivation: midpoint|isolated|measured")
+	mf := addMachineFlags(fs)
+	profile := fs.String("profile", "", "JSON profile file instead of named workloads")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var mode core.BranchPenaltyMode
+	switch *branchMode {
+	case "midpoint":
+		mode = core.BranchMidpoint
+	case "isolated":
+		mode = core.BranchIsolated
+	case "measured":
+		mode = core.BranchMeasured
+	default:
+		return fmt.Errorf("fomodel: unknown branch mode %q", *branchMode)
+	}
+
+	traces, err := loadWorkloads(*profile, fs.Args(), *n, *seed)
+	if err != nil {
+		return err
+	}
+
+	machine, err := mf.machine()
+	if err != nil {
+		return err
+	}
+	ucfg, err := mf.simConfig()
+	if err != nil {
+		return err
+	}
+
+	var enc *json.Encoder
+	tw := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
+	switch {
+	case *jsonOut:
+		enc = json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+	case *sim:
+		fmt.Fprintln(tw, "bench\tidealCPI\tbrCPI\tiL1CPI\tiL2CPI\tdCPI\tmodelCPI\tsimCPI\terr%")
+	default:
+		fmt.Fprintln(tw, "bench\tidealCPI\tbrCPI\tiL1CPI\tiL2CPI\tdCPI\tmodelCPI")
+	}
+	for _, t := range traces {
+		points, err := iw.Characteristic(t, iw.DefaultWindows(), iw.Options{})
+		if err != nil {
+			return err
+		}
+		law, err := iw.Fit(points)
+		if err != nil {
+			return err
+		}
+		scfg := stats.DefaultConfig()
+		scfg.Warmup = true
+		scfg.ROBSize = machine.ROBSize
+		scfg.TLB = ucfg.TLB // keep the model's TLB inputs consistent
+		sum, err := stats.Analyze(t, scfg)
+		if err != nil {
+			return err
+		}
+		inputs, err := core.InputsFromCurve(law, points, machine.WindowSize, sum)
+		if err != nil {
+			return err
+		}
+		est, err := machine.Estimate(inputs, core.Options{BranchMode: mode})
+		if err != nil {
+			return err
+		}
+		if enc != nil {
+			record := struct {
+				Bench    string        `json:"bench"`
+				Inputs   core.Inputs   `json:"inputs"`
+				Estimate core.Estimate `json:"estimate"`
+				SimCPI   *float64      `json:"sim_cpi,omitempty"`
+			}{Bench: t.Name, Inputs: inputs, Estimate: est}
+			if *sim {
+				r, err := uarch.Simulate(t, ucfg)
+				if err != nil {
+					return err
+				}
+				cpi := r.CPI()
+				record.SimCPI = &cpi
+			}
+			if err := enc.Encode(record); err != nil {
+				return err
+			}
+			continue
+		}
+		if !*sim {
+			fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+				t.Name, est.SteadyCPI, est.BranchCPI, est.ICacheShortCPI, est.ICacheLongCPI, est.DCacheCPI, est.CPI)
+			continue
+		}
+		r, err := uarch.Simulate(t, ucfg)
+		if err != nil {
+			return err
+		}
+		errPct := 100 * (est.CPI - r.CPI()) / r.CPI()
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%+.1f\n",
+			t.Name, est.SteadyCPI, est.BranchCPI, est.ICacheShortCPI, est.ICacheLongCPI, est.DCacheCPI, est.CPI, r.CPI(), errPct)
+	}
+	return tw.Flush()
+}

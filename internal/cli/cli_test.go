@@ -1,0 +1,282 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fomodel/internal/workload"
+)
+
+func TestTraceinfo(t *testing.T) {
+	var out bytes.Buffer
+	if err := Traceinfo([]string{"-n", "20000", "gzip"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "gzip") {
+		t.Fatalf("traceinfo output incomplete:\n%s", s)
+	}
+	if strings.Count(s, "\n") != 2 { // header + one workload
+		t.Fatalf("unexpected row count:\n%s", s)
+	}
+}
+
+func TestTraceinfoUnknownWorkload(t *testing.T) {
+	var out bytes.Buffer
+	if err := Traceinfo([]string{"nonsense"}, &out); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestTraceinfoBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := Traceinfo([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestFosim(t *testing.T) {
+	var out bytes.Buffer
+	if err := Fosim([]string{"-n", "20000", "bzip"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "CPI") || !strings.Contains(s, "bzip") {
+		t.Fatalf("fosim output incomplete:\n%s", s)
+	}
+}
+
+func TestFosimIdealTogglesSpeedUp(t *testing.T) {
+	run := func(extra ...string) string {
+		var out bytes.Buffer
+		args := append([]string{"-n", "20000"}, extra...)
+		args = append(args, "gzip")
+		if err := Fosim(args, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	real := run()
+	ideal := run("-ideal-icache", "-ideal-dcache", "-ideal-predictor")
+	// The ideal run must report zero miss events (columns misp, iShort,
+	// iLong, dShort, dLong of the data row).
+	lines := strings.Split(strings.TrimSpace(ideal), "\n")
+	fields := strings.Fields(lines[len(lines)-1])
+	for _, col := range fields[5:10] {
+		if col != "0" {
+			t.Fatalf("ideal run still reports events:\n%s", ideal)
+		}
+	}
+	if real == ideal {
+		t.Fatal("ideal toggles had no effect")
+	}
+}
+
+func TestFosimDumpAndLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.bin")
+	var out bytes.Buffer
+	if err := Fosim([]string{"-n", "5000", "-dump", path, "gzip"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("dump did not create the file: %v", err)
+	}
+	out.Reset()
+	if err := Fosim([]string{"-load", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "gzip") {
+		t.Fatalf("loaded-trace output incomplete:\n%s", out.String())
+	}
+}
+
+func TestFosimDumpRequiresOneWorkload(t *testing.T) {
+	var out bytes.Buffer
+	if err := Fosim([]string{"-n", "5000", "-dump", "/tmp/x", "gzip", "bzip"}, &out); err == nil {
+		t.Fatal("dump with two workloads accepted")
+	}
+}
+
+func TestFosimProfile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "profile.json")
+	p, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Name = "custom"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteProfile(f, p); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if err := Fosim([]string{"-n", "10000", "-profile", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "custom") {
+		t.Fatalf("profile workload missing:\n%s", out.String())
+	}
+}
+
+func TestFomodel(t *testing.T) {
+	var out bytes.Buffer
+	if err := Fomodel([]string{"-n", "20000", "gzip"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "modelCPI") {
+		t.Fatalf("fomodel output incomplete:\n%s", out.String())
+	}
+}
+
+func TestFomodelSim(t *testing.T) {
+	var out bytes.Buffer
+	if err := Fomodel([]string{"-n", "20000", "-sim", "gzip"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "err%") {
+		t.Fatalf("fomodel -sim output incomplete:\n%s", out.String())
+	}
+}
+
+func TestFomodelBranchModes(t *testing.T) {
+	for _, mode := range []string{"midpoint", "isolated", "measured"} {
+		var out bytes.Buffer
+		if err := Fomodel([]string{"-n", "10000", "-branch-mode", mode, "gzip"}, &out); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+	}
+	var out bytes.Buffer
+	if err := Fomodel([]string{"-branch-mode", "nonsense", "gzip"}, &out); err == nil {
+		t.Fatal("bad branch mode accepted")
+	}
+}
+
+func TestExperimentsList(t *testing.T) {
+	var out bytes.Buffer
+	if err := Experiments([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig2", "fig15", "table1", "ext-tlb", "statsim", "refine-branch"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("label %q missing from list:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestExperimentsRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := Experiments([]string{"-n", "20000", "-quiet", "fig8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "drain") {
+		t.Fatalf("fig8 output incomplete:\n%s", out.String())
+	}
+}
+
+func TestExperimentsCSVAndOut(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := Experiments([]string{"-n", "20000", "-csv", "-out", dir, "-quiet", "table1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "bench,alpha") {
+		t.Fatalf("CSV file content: %q", data[:30])
+	}
+}
+
+func TestExperimentsUnknownLabel(t *testing.T) {
+	var out bytes.Buffer
+	if err := Experiments([]string{"nonsense"}, &out); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+}
+
+func TestFosimExtensionFlags(t *testing.T) {
+	var base, ext bytes.Buffer
+	if err := Fosim([]string{"-n", "15000", "gzip"}, &base); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fosim([]string{"-n", "15000", "-clusters", "2", "-bypass", "1",
+		"-tlb", "-fu", "mul=1,load=1", "gzip"}, &ext); err != nil {
+		t.Fatal(err)
+	}
+	if base.String() == ext.String() {
+		t.Fatal("extension flags had no effect")
+	}
+}
+
+func TestFosimBadFUFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := Fosim([]string{"-fu", "nonsense=1", "gzip"}, &out); err == nil {
+		t.Fatal("unknown FU class accepted")
+	}
+	if err := Fosim([]string{"-fu", "mul", "gzip"}, &out); err == nil {
+		t.Fatal("malformed FU pair accepted")
+	}
+	if err := Fosim([]string{"-fu", "mul=0", "gzip"}, &out); err == nil {
+		t.Fatal("zero FU count accepted")
+	}
+}
+
+func TestFomodelExtensionFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := Fomodel([]string{"-n", "15000", "-clusters", "2", "-tlb",
+		"-fetch-buffer", "16", "gzip"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "modelCPI") {
+		t.Fatalf("output incomplete:\n%s", out.String())
+	}
+}
+
+func TestParseFUCounts(t *testing.T) {
+	fu, err := parseFUCounts("mul=1, load=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fu[2] != 0 { // div unset
+		t.Fatal("unset class non-zero")
+	}
+	empty, err := parseFUCounts("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range empty {
+		if v != 0 {
+			t.Fatal("empty spec set limits")
+		}
+	}
+}
+
+func TestFomodelJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := Fomodel([]string{"-n", "15000", "-json", "-sim", "gzip"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var record struct {
+		Bench    string `json:"bench"`
+		Estimate struct {
+			CPI float64 `json:"CPI"`
+		} `json:"estimate"`
+		SimCPI *float64 `json:"sim_cpi"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &record); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if record.Bench != "gzip" || record.Estimate.CPI <= 0 || record.SimCPI == nil || *record.SimCPI <= 0 {
+		t.Fatalf("record incomplete: %+v", record)
+	}
+}

@@ -1,0 +1,78 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fomodel/internal/experiments"
+)
+
+// Experiments implements cmd/experiments: regenerate paper tables and
+// figures by label.
+func Experiments(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(out)
+	n := fs.Int("n", 500000, "dynamic instructions per workload")
+	seed := fs.Uint64("seed", 1, "workload generation seed")
+	list := fs.Bool("list", false, "list experiment labels and exit")
+	csv := fs.Bool("csv", false, "emit CSV for tabular experiments")
+	outDir := fs.String("out", "", "write outputs to this directory instead of stdout")
+	quiet := fs.Bool("quiet", false, "suppress timing lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg := experiments.DefaultRegistry()
+	if *list {
+		for _, l := range reg.Labels() {
+			fmt.Fprintln(out, l)
+		}
+		return nil
+	}
+
+	labels := fs.Args()
+	if len(labels) == 0 {
+		labels = reg.Labels()
+	}
+	suite := experiments.NewSuite(*n, *seed)
+	for _, label := range labels {
+		run, ok := reg[label]
+		if !ok {
+			return fmt.Errorf("experiments: unknown experiment %q (try -list)", label)
+		}
+		start := time.Now()
+		res, err := run(suite)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", label, err)
+		}
+		body, ext := res.Render(), "txt"
+		if *csv {
+			if c, ok := res.(interface{ CSV() string }); ok {
+				body, ext = c.CSV(), "csv"
+			}
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*outDir, label+"."+ext)
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				return err
+			}
+			if !*quiet {
+				fmt.Fprintf(out, "== %s (%.1fs) → %s\n", label, time.Since(start).Seconds(), path)
+			}
+			continue
+		}
+		if *quiet {
+			fmt.Fprintf(out, "== %s ==\n%s\n", label, body)
+		} else {
+			fmt.Fprintf(out, "== %s (%.1fs) ==\n%s\n", label, time.Since(start).Seconds(), body)
+		}
+	}
+	return nil
+}

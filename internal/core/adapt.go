@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fomodel/internal/iw"
+	"fomodel/internal/stats"
+)
+
+// InputsFromCurve assembles model Inputs like InputsFromAnalysis and
+// additionally sets MeasuredSteadyIPC from the measured IW points: the
+// unit-latency curve interpolated at the machine's window size, divided by
+// the average latency per Little's law. Experiments use this form; it only
+// differs from the pure fit for workloads whose curve is visibly concave
+// (the paper's vpr outlier).
+func InputsFromCurve(law iw.PowerLaw, points []iw.Point, windowSize int, sum *stats.Summary) (Inputs, error) {
+	in := InputsFromAnalysis(law, sum)
+	i1, err := iw.InterpolateAt(points, float64(windowSize))
+	if err != nil {
+		return Inputs{}, err
+	}
+	if sum.AvgLatency > 0 {
+		in.MeasuredSteadyIPC = i1 / sum.AvgLatency
+	}
+	return in, nil
+}
+
+// InputsFromAnalysis assembles model Inputs from the two functional
+// analyses the paper prescribes: the fitted IW power law (§3) and the
+// trace statistics of §5 step 5.
+func InputsFromAnalysis(law iw.PowerLaw, sum *stats.Summary) Inputs {
+	return Inputs{
+		Name:                sum.Name,
+		Alpha:               law.Alpha,
+		Beta:                law.Beta,
+		AvgLatency:          sum.AvgLatency,
+		MispredictsPerInstr: sum.MispredictsPerInstr(),
+		ICacheShortPerInstr: sum.ICacheShortPerInstr(),
+		ICacheLongPerInstr:  sum.ICacheLongPerInstr(),
+		DCacheLongPerInstr:  sum.DCacheLongPerInstr(),
+		OverlapFactor:       sum.OverlapFactor(),
+		Mix:                 sum.Mix,
+		BranchBurstFactor:   sum.BranchBurstFactor(),
+		TLBMissesPerInstr:   sum.TLBMissesPerInstr(),
+		TLBOverlapFactor:    sum.TLBOverlapFactor(),
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+// This file maps the paper's notation onto the package's API, for readers
+// following along with Karkhanis & Smith (ISCA 2004) in hand.
+//
+// Paper symbol / equation          → code
+// ---------------------------------------------------------------------
+// i (fetch/dispatch/issue/retire   → Machine.Width
+//   width, §2)
+// ΔP (front-end depth)             → Machine.FrontEndDepth
+// win_size                         → Machine.WindowSize
+// rob_size                         → Machine.ROBSize
+// ΔI (L2 access delay)             → Machine.ShortMissLatency
+// ΔD (memory latency)              → Machine.LongMissLatency
+//
+// I = α·W^β (§3, Table 1)          → Inputs.Alpha, Inputs.Beta;
+//                                    IWCurve.Eval
+// L (average latency, Little's     → Inputs.AvgLatency; the division
+//   law I_L = I_1/L)                 I_1/L happens inside IWCurve.Eval
+// issue-width saturation (Fig. 6)  → min(width, curve) clip in
+//                                    IWCurve.Eval; ablated by
+//                                    Options.SmoothSaturation
+// CPI_steadystate                  → Estimate.SteadyCPI
+//
+// win_drain (§4.1, Fig. 8)         → IWCurve.Drain
+// ramp_up                          → IWCurve.RampUp (convergence at
+//                                    Options.RampEpsilon of steady)
+// eq. (2): isolated_brmisp_penalty → Options.BranchMode =
+//   = win_drain + ΔP + ramp_up       BranchIsolated
+// eq. (3): ΔP + (drain+ramp)/n     → BranchBurst (fixed n) or
+//                                    BranchMeasured (measured Σf(i)/i,
+//                                    Inputs.BranchBurstFactor — the §7
+//                                    refinement #3)
+// §5 step 2 "average of 5 and 10"  → BranchMidpoint (the default)
+//
+// eq. (4,5): ΔI + ramp_up −        → Estimate.ICacheShortPenalty and
+//   win_drain                        ICacheLongPenalty (the long variant
+//                                    charges the memory latency, for
+//                                    fetches missing the L2)
+//
+// eq. (6): ΔD − rob_fill −         → approximated as ΔD per §4.3 (the
+//   win_drain + ramp_up              missing load is old at issue, so
+//                                    rob_fill ≈ 0 and drain/ramp offset)
+// eq. (7,8): overlap within        → Inputs.OverlapFactor = Σ f_LDM(i)/i
+//   rob_size                         (stats.Summary.OverlapFactor);
+//                                    Estimate.DCachePenalty = ΔD × factor
+//
+// eq. (1): CPI = Σ components      → Machine.Estimate → Estimate.CPI
+//
+// §6.1 depth study (Fig. 17)       → PipelineDepthStudy, OptimalDepth,
+//                                    OptimalDepthClosedForm
+// §6.2 width study (Figs. 18, 19)  → IssueWidthStudy,
+//                                    IWCurve.RampIssueTrace
+//
+// §7 extensions:
+//   #1 limited functional units    → Machine.FUCounts (+ Inputs.Mix)
+//   #2 instruction fetch buffers   → Machine.FetchBuffer
+//                                    (+ Options.FetchBufferCoverage)
+//   #3 partitioned windows         → Machine.Clusters, BypassLatency
+//   #4 TLB misses                  → Machine.TLBMissLatency
+//                                    (+ Inputs.TLBMissesPerInstr,
+//                                    TLBOverlapFactor)

@@ -1,0 +1,67 @@
+package core_test
+
+import (
+	"fmt"
+
+	"fomodel/internal/core"
+)
+
+// The model in a nutshell: describe the machine, hand it the trace
+// statistics, read off the CPI stack.
+func ExampleMachine_Estimate() {
+	machine := core.DefaultMachine() // ΔP=5, width 4, window 48, ROB 128
+
+	inputs := core.Inputs{
+		Name:                "example",
+		Alpha:               1.0, // the square-law IW characteristic
+		Beta:                0.5,
+		AvgLatency:          1.0,
+		MispredictsPerInstr: 0.01,  // 1-in-5 branches, 5% mispredicted
+		ICacheShortPerInstr: 0.002, // L1-I misses hitting L2
+		DCacheLongPerInstr:  0.001, // L2 data misses
+		OverlapFactor:       0.8,   // eq. (8): some of them overlap
+	}
+
+	est, err := machine.Estimate(inputs, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("steady-state CPI %.3f\n", est.SteadyCPI)
+	fmt.Printf("branch penalty   %.1f cycles/event\n", est.BranchPenalty)
+	fmt.Printf("I-cache penalty  %.1f cycles/event\n", est.ICacheShortPenalty)
+	fmt.Printf("D-cache penalty  %.1f cycles/event\n", est.DCachePenalty)
+	fmt.Printf("total CPI        %.3f\n", est.CPI)
+	// Output:
+	// steady-state CPI 0.250
+	// branch penalty   7.4 cycles/event
+	// I-cache penalty  8.6 cycles/event
+	// D-cache penalty  160.0 cycles/event
+	// total CPI        0.501
+}
+
+// The transient machinery behind Fig. 8: drain, refill, ramp-up.
+func ExampleIWCurve_Drain() {
+	curve := core.IWCurve{Alpha: 1, Beta: 0.5, L: 1, Width: 4}
+	drain := curve.Drain(48, 4)
+	ramp := curve.RampUp(4, 0.05)
+	fmt.Printf("drain %.1f + front end 5 + ramp-up %.1f ≈ %.1f cycles per isolated misprediction\n",
+		drain, ramp, drain+5+ramp)
+	// Output:
+	// drain 2.1 + front end 5 + ramp-up 2.7 ≈ 9.7 cycles per isolated misprediction
+}
+
+// The §6.1 trend study: absolute performance peaks at a deep front end.
+func ExamplePipelineDepthStudy() {
+	depths := make([]int, 100)
+	for i := range depths {
+		depths[i] = i + 1
+	}
+	pts, err := core.PipelineDepthStudy(3, depths)
+	if err != nil {
+		panic(err)
+	}
+	opt := core.OptimalDepth(pts)
+	fmt.Printf("width 3 optimum: %d front-end stages\n", opt.Depth)
+	// Output:
+	// width 3 optimum: 57 front-end stages
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fomodel/internal/isa"
+)
+
+func TestEffectiveWidthUnlimited(t *testing.T) {
+	m := DefaultMachine()
+	if got := m.EffectiveWidth(squareLawInputs()); got != 4 {
+		t.Fatalf("effective width %v, want 4", got)
+	}
+}
+
+func TestEffectiveWidthBindsOnMix(t *testing.T) {
+	m := DefaultMachine()
+	in := squareLawInputs()
+	in.Mix[isa.Load] = 0.4
+	m.FUCounts[isa.Load] = 1
+	// 1 load port / 0.4 load fraction → 2.5 sustainable IPC.
+	if got := m.EffectiveWidth(in); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("effective width %v, want 2.5", got)
+	}
+	// The steady state and the estimate honor the lowered saturation.
+	est, err := m.Estimate(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.EffectiveWidth != 2.5 {
+		t.Fatalf("estimate effective width %v", est.EffectiveWidth)
+	}
+	if est.SteadyIPC > 2.5 {
+		t.Fatalf("steady IPC %v exceeds the FU-limited saturation", est.SteadyIPC)
+	}
+}
+
+func TestEffectiveWidthIgnoresUnlimitedAndUnusedClasses(t *testing.T) {
+	m := DefaultMachine()
+	in := squareLawInputs()
+	in.Mix[isa.Div] = 0 // class not present in the stream
+	m.FUCounts[isa.Div] = 1
+	if got := m.EffectiveWidth(in); got != 4 {
+		t.Fatalf("unused limited class lowered width to %v", got)
+	}
+}
+
+func TestFetchBufferReducesICachePenalty(t *testing.T) {
+	base := DefaultMachine()
+	buffered := DefaultMachine()
+	buffered.FetchBuffer = 16
+	in := squareLawInputs()
+	a, err := base.Estimate(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buffered.Estimate(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 entries at width 4 hide 4 cycles of the 8-cycle miss delay.
+	if math.Abs((a.ICacheShortPenalty-b.ICacheShortPenalty)-4) > 1e-9 {
+		t.Fatalf("buffer hid %v cycles, want 4", a.ICacheShortPenalty-b.ICacheShortPenalty)
+	}
+}
+
+func TestFetchBufferCoverageScalesHiding(t *testing.T) {
+	m := DefaultMachine()
+	m.FetchBuffer = 16
+	in := squareLawInputs()
+	full, err := m.Estimate(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := m.Estimate(in, Options{FetchBufferCoverage: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.ICacheShortPenalty <= full.ICacheShortPenalty {
+		t.Fatalf("half coverage (%v) should hide less than full (%v)",
+			half.ICacheShortPenalty, full.ICacheShortPenalty)
+	}
+}
+
+func TestICachePenaltyNeverNegative(t *testing.T) {
+	m := DefaultMachine()
+	m.FetchBuffer = 10000
+	est, err := m.Estimate(squareLawInputs(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ICacheShortPenalty < 0 || est.ICacheLongPenalty < 0 {
+		t.Fatalf("negative I-cache penalties: %v / %v", est.ICacheShortPenalty, est.ICacheLongPenalty)
+	}
+}
+
+func TestTLBTerm(t *testing.T) {
+	m := DefaultMachine()
+	in := squareLawInputs()
+	// Without a machine TLB latency the term stays zero even with rates.
+	in.TLBMissesPerInstr = 0.001
+	in.TLBOverlapFactor = 0.5
+	est, err := m.Estimate(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.TLBCPI != 0 {
+		t.Fatalf("TLB CPI %v without machine TLB", est.TLBCPI)
+	}
+	m.TLBMissLatency = 80
+	est, err = m.Estimate(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.TLBPenalty-40) > 1e-12 { // 80 × 0.5 overlap
+		t.Fatalf("TLB penalty %v, want 40", est.TLBPenalty)
+	}
+	if math.Abs(est.TLBCPI-0.04) > 1e-12 {
+		t.Fatalf("TLB CPI %v, want 0.04", est.TLBCPI)
+	}
+	sum := est.SteadyCPI + est.BranchCPI + est.ICacheShortCPI + est.ICacheLongCPI + est.DCacheCPI + est.TLBCPI
+	if math.Abs(sum-est.CPI) > 1e-12 {
+		t.Fatal("CPI composition lost the TLB term")
+	}
+}
+
+func TestTLBOverlapDefaultsToIsolated(t *testing.T) {
+	m := DefaultMachine()
+	m.TLBMissLatency = 80
+	in := squareLawInputs()
+	in.TLBMissesPerInstr = 0.001
+	in.TLBOverlapFactor = 0 // unset → treated as isolated
+	est, err := m.Estimate(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.TLBPenalty != 80 {
+		t.Fatalf("TLB penalty %v, want full walk latency", est.TLBPenalty)
+	}
+}
+
+func TestExtensionValidation(t *testing.T) {
+	m := DefaultMachine()
+	m.FetchBuffer = -1
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative fetch buffer accepted")
+	}
+	m = DefaultMachine()
+	m.TLBMissLatency = -1
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative TLB latency accepted")
+	}
+	m = DefaultMachine()
+	m.FUCounts[isa.ALU] = -1
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative FU count accepted")
+	}
+	in := squareLawInputs()
+	in.TLBMissesPerInstr = 2
+	if err := in.Validate(); err == nil {
+		t.Fatal("TLB rate > 1 accepted")
+	}
+	in = squareLawInputs()
+	in.TLBOverlapFactor = -0.5
+	if err := in.Validate(); err == nil {
+		t.Fatal("negative TLB overlap accepted")
+	}
+}
+
+func TestClusteringInflatesLatency(t *testing.T) {
+	m := DefaultMachine()
+	in := squareLawInputs()
+	if got := m.EffectiveLatency(in); got != in.AvgLatency {
+		t.Fatalf("unified latency %v, want %v", got, in.AvgLatency)
+	}
+	m.Clusters = 2
+	m.BypassLatency = 1
+	if got := m.EffectiveLatency(in); math.Abs(got-(in.AvgLatency+0.5)) > 1e-12 {
+		t.Fatalf("2-cluster latency %v, want +0.5", got)
+	}
+	m.Clusters = 4
+	if got := m.EffectiveLatency(in); math.Abs(got-(in.AvgLatency+0.75)) > 1e-12 {
+		t.Fatalf("4-cluster latency %v, want +0.75", got)
+	}
+	// Clustering lowers the modeled steady state on an unsaturated
+	// machine.
+	m.WindowSize = 8
+	unified := DefaultMachine()
+	unified.WindowSize = 8
+	a := unified.SteadyStateIPC(in, Options{})
+	b := m.SteadyStateIPC(in, Options{})
+	if b >= a {
+		t.Fatalf("clustering did not lower steady IPC: %v vs %v", b, a)
+	}
+}
+
+func TestBranchMeasuredMode(t *testing.T) {
+	m := DefaultMachine()
+	in := squareLawInputs()
+	in.BranchBurstFactor = 0.5
+	meas, err := m.Estimate(in, Options{BranchMode: BranchMeasured})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ΔP + (drain+ramp)·factor.
+	want := float64(m.FrontEndDepth) + (meas.Drain+meas.RampUp)*0.5
+	if math.Abs(meas.BranchPenalty-want) > 1e-9 {
+		t.Fatalf("measured-burst penalty %v, want %v", meas.BranchPenalty, want)
+	}
+	// Factor 1 (or unset) reduces to the isolated bound.
+	in.BranchBurstFactor = 0
+	iso, err := m.Estimate(in, Options{BranchMode: BranchMeasured})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := m.Estimate(in, Options{BranchMode: BranchIsolated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iso.BranchPenalty-ref.BranchPenalty) > 1e-9 {
+		t.Fatalf("unset factor penalty %v, want isolated %v", iso.BranchPenalty, ref.BranchPenalty)
+	}
+	in.BranchBurstFactor = 1.5
+	if err := in.Validate(); err == nil {
+		t.Fatal("burst factor > 1 accepted")
+	}
+}
+
+func TestAllExtensionsCompose(t *testing.T) {
+	// Every §7 extension enabled at once must still produce a coherent
+	// estimate: positive components, CPI = sum, effective width lowered.
+	m := DefaultMachine()
+	m.FUCounts[isa.Load] = 1
+	m.FetchBuffer = 16
+	m.TLBMissLatency = 80
+	m.Clusters = 2
+	m.BypassLatency = 1
+	in := squareLawInputs()
+	in.Mix[isa.Load] = 0.35
+	in.TLBMissesPerInstr = 0.002
+	in.TLBOverlapFactor = 0.6
+	in.BranchBurstFactor = 0.7
+	est, err := m.Estimate(in, Options{BranchMode: BranchMeasured})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.EffectiveWidth >= 4 {
+		t.Fatalf("effective width %v not lowered by the load port", est.EffectiveWidth)
+	}
+	sum := est.SteadyCPI + est.BranchCPI + est.ICacheShortCPI + est.ICacheLongCPI + est.DCacheCPI + est.TLBCPI
+	if math.Abs(sum-est.CPI) > 1e-12 {
+		t.Fatal("composition broken with all extensions")
+	}
+	if est.TLBCPI <= 0 || est.SteadyCPI <= 0.25 {
+		t.Fatalf("extension terms missing: %+v", est)
+	}
+}

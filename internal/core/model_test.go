@@ -1,0 +1,428 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func squareLawInputs() Inputs {
+	return Inputs{
+		Name:                "square",
+		Alpha:               1,
+		Beta:                0.5,
+		AvgLatency:          1,
+		MispredictsPerInstr: 0.01,
+		ICacheShortPerInstr: 0.001,
+		ICacheLongPerInstr:  0,
+		DCacheLongPerInstr:  0.002,
+		OverlapFactor:       0.8,
+	}
+}
+
+func TestMachineValidate(t *testing.T) {
+	if err := DefaultMachine().Validate(); err != nil {
+		t.Fatalf("default machine invalid: %v", err)
+	}
+	cases := []func(*Machine){
+		func(m *Machine) { m.Width = 0 },
+		func(m *Machine) { m.FrontEndDepth = 0 },
+		func(m *Machine) { m.WindowSize = 0 },
+		func(m *Machine) { m.ROBSize = 0 },
+		func(m *Machine) { m.LongMissLatency = -1 },
+	}
+	for i, mutate := range cases {
+		m := DefaultMachine()
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid machine accepted", i)
+		}
+	}
+}
+
+func TestInputsValidate(t *testing.T) {
+	if err := squareLawInputs().Validate(); err != nil {
+		t.Fatalf("valid inputs rejected: %v", err)
+	}
+	cases := []func(*Inputs){
+		func(in *Inputs) { in.Alpha = 0 },
+		func(in *Inputs) { in.Beta = 0 },
+		func(in *Inputs) { in.Beta = 2 },
+		func(in *Inputs) { in.AvgLatency = 0.5 },
+		func(in *Inputs) { in.MispredictsPerInstr = -1 },
+		func(in *Inputs) { in.ICacheShortPerInstr = -1 },
+		func(in *Inputs) { in.DCacheLongPerInstr = -1 },
+		func(in *Inputs) { in.OverlapFactor = 1.5 },
+		func(in *Inputs) { in.MeasuredSteadyIPC = -1 },
+	}
+	for i, mutate := range cases {
+		in := squareLawInputs()
+		mutate(&in)
+		if err := in.Validate(); err == nil {
+			t.Errorf("case %d: invalid inputs accepted", i)
+		}
+	}
+}
+
+func TestSteadyStateSaturates(t *testing.T) {
+	m := DefaultMachine()
+	in := squareLawInputs()
+	// sqrt(48) ≈ 6.9 > 4 → clipped at the width.
+	if got := m.SteadyStateIPC(in, Options{}); got != 4 {
+		t.Fatalf("steady IPC %v, want 4 (saturated)", got)
+	}
+	// A tiny window stays on the power law: sqrt(4) = 2.
+	m.WindowSize = 4
+	if got := m.SteadyStateIPC(in, Options{}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("steady IPC %v, want 2", got)
+	}
+}
+
+func TestSteadyStateLittleLaw(t *testing.T) {
+	m := DefaultMachine()
+	m.WindowSize = 16
+	in := squareLawInputs()
+	in.AvgLatency = 2
+	// sqrt(16)/2 = 2.
+	if got := m.SteadyStateIPC(in, Options{}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("steady IPC %v, want 2", got)
+	}
+}
+
+func TestMeasuredSteadyOverridesFit(t *testing.T) {
+	m := DefaultMachine()
+	in := squareLawInputs()
+	in.MeasuredSteadyIPC = 1.7
+	if got := m.SteadyStateIPC(in, Options{}); got != 1.7 {
+		t.Fatalf("steady IPC %v, want measured 1.7", got)
+	}
+	in.MeasuredSteadyIPC = 9 // still clipped at the width
+	if got := m.SteadyStateIPC(in, Options{}); got != 4 {
+		t.Fatalf("steady IPC %v, want clipped 4", got)
+	}
+}
+
+func TestFig8Numbers(t *testing.T) {
+	// The paper's Fig. 8: drain 2.1, ramp-up 2.7, total 9.7 at ΔP=5.
+	c := IWCurve{Alpha: 1, Beta: 0.5, L: 1, Width: 4}
+	drain := c.Drain(48, 4)
+	ramp := c.RampUp(4, 0.05)
+	if math.Abs(drain-2.1) > 0.2 {
+		t.Fatalf("drain %v, want ≈2.1", drain)
+	}
+	if math.Abs(ramp-2.7) > 0.2 {
+		t.Fatalf("ramp-up %v, want ≈2.7", ramp)
+	}
+	if total := drain + 5 + ramp; math.Abs(total-9.7) > 0.4 {
+		t.Fatalf("total %v, want ≈9.7", total)
+	}
+}
+
+func TestEstimateComposition(t *testing.T) {
+	m := DefaultMachine()
+	est, err := m.Estimate(squareLawInputs(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := est.SteadyCPI + est.BranchCPI + est.ICacheShortCPI + est.ICacheLongCPI + est.DCacheCPI
+	if math.Abs(sum-est.CPI) > 1e-12 {
+		t.Fatalf("CPI %v is not the sum of components %v", est.CPI, sum)
+	}
+	if math.Abs(est.IPC()*est.CPI-1) > 1e-12 {
+		t.Fatal("IPC and CPI not reciprocal")
+	}
+	if est.SteadyCPI != 0.25 {
+		t.Fatalf("steady CPI %v, want 0.25", est.SteadyCPI)
+	}
+}
+
+func TestEstimateValidatesInputs(t *testing.T) {
+	m := DefaultMachine()
+	in := squareLawInputs()
+	in.Alpha = -1
+	if _, err := m.Estimate(in, Options{}); err == nil {
+		t.Fatal("invalid inputs accepted")
+	}
+	m.Width = 0
+	if _, err := m.Estimate(squareLawInputs(), Options{}); err == nil {
+		t.Fatal("invalid machine accepted")
+	}
+}
+
+func TestBranchPenaltyModes(t *testing.T) {
+	m := DefaultMachine()
+	in := squareLawInputs()
+	iso, err := m.Estimate(in, Options{BranchMode: BranchIsolated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := m.Estimate(in, Options{BranchMode: BranchMidpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := m.Estimate(in, Options{BranchMode: BranchBurst, BurstLength: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(burst.BranchPenalty < mid.BranchPenalty && mid.BranchPenalty < iso.BranchPenalty) {
+		t.Fatalf("penalty ordering wrong: burst %v, mid %v, iso %v",
+			burst.BranchPenalty, mid.BranchPenalty, iso.BranchPenalty)
+	}
+	// Isolated = drain + ΔP + ramp; midpoint = (isolated + ΔP)/2.
+	wantMid := (iso.BranchPenalty + float64(m.FrontEndDepth)) / 2
+	if math.Abs(mid.BranchPenalty-wantMid) > 1e-9 {
+		t.Fatalf("midpoint %v, want %v", mid.BranchPenalty, wantMid)
+	}
+	// Burst n → ΔP + (drain+ramp)/n.
+	wantBurst := float64(m.FrontEndDepth) + (iso.Drain+iso.RampUp)/4
+	if math.Abs(burst.BranchPenalty-wantBurst) > 1e-9 {
+		t.Fatalf("burst %v, want %v", burst.BranchPenalty, wantBurst)
+	}
+}
+
+func TestICachePenaltyNearMissDelay(t *testing.T) {
+	m := DefaultMachine()
+	est, err := m.Estimate(squareLawInputs(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equation (4): drain and ramp-up offset → penalty ≈ ΔI.
+	if math.Abs(est.ICacheShortPenalty-float64(m.ShortMissLatency)) > 1.5 {
+		t.Fatalf("I-cache penalty %v, want ≈%d", est.ICacheShortPenalty, m.ShortMissLatency)
+	}
+	if math.Abs(est.ICacheLongPenalty-float64(m.LongMissLatency)) > 1.5 {
+		t.Fatalf("L2 I-cache penalty %v, want ≈%d", est.ICacheLongPenalty, m.LongMissLatency)
+	}
+}
+
+func TestICachePenaltyIndependentOfDepth(t *testing.T) {
+	shallow := DefaultMachine()
+	deep := DefaultMachine()
+	deep.FrontEndDepth = 20
+	a, err := shallow.Estimate(squareLawInputs(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := deep.Estimate(squareLawInputs(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ICacheShortPenalty != b.ICacheShortPenalty {
+		t.Fatalf("I-cache penalty depends on depth: %v vs %v", a.ICacheShortPenalty, b.ICacheShortPenalty)
+	}
+	// While the branch penalty must grow with depth.
+	if b.BranchPenalty <= a.BranchPenalty {
+		t.Fatalf("branch penalty did not grow with depth: %v vs %v", a.BranchPenalty, b.BranchPenalty)
+	}
+}
+
+func TestDCachePenaltyScalesWithOverlap(t *testing.T) {
+	m := DefaultMachine()
+	in := squareLawInputs()
+	in.OverlapFactor = 1
+	iso, err := m.Estimate(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iso.DCachePenalty != float64(m.LongMissLatency) {
+		t.Fatalf("isolated penalty %v, want ΔD", iso.DCachePenalty)
+	}
+	in.OverlapFactor = 0.5
+	half, err := m.Estimate(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.DCachePenalty != float64(m.LongMissLatency)/2 {
+		t.Fatalf("half-overlap penalty %v", half.DCachePenalty)
+	}
+}
+
+func TestCurveEval(t *testing.T) {
+	c := IWCurve{Alpha: 1, Beta: 0.5, L: 1, Width: 4}
+	if got := c.Eval(16); got != 4 {
+		t.Fatalf("Eval(16) = %v, want 4 (saturated)", got)
+	}
+	if got := c.Eval(4); got != 2 {
+		t.Fatalf("Eval(4) = %v, want 2", got)
+	}
+	if got := c.Eval(0.25); got != 0.25 {
+		t.Fatalf("Eval(0.25) = %v, want w-bounded 0.25", got)
+	}
+	if got := c.Eval(0); got != 0 {
+		t.Fatalf("Eval(0) = %v", got)
+	}
+}
+
+func TestCurveSmoothSaturation(t *testing.T) {
+	hard := IWCurve{Alpha: 1, Beta: 0.5, L: 1, Width: 4}
+	soft := hard
+	soft.Smooth = true
+	// Far below saturation the two agree closely.
+	if math.Abs(hard.Eval(2)-soft.Eval(2)) > 0.15 {
+		t.Fatalf("smooth diverges below saturation: %v vs %v", hard.Eval(2), soft.Eval(2))
+	}
+	// At the knee the soft-min is below the hard clip.
+	if soft.Eval(16) >= hard.Eval(16) {
+		t.Fatalf("soft-min %v not below hard clip %v at the knee", soft.Eval(16), hard.Eval(16))
+	}
+}
+
+func TestSteadyOccupancy(t *testing.T) {
+	c := IWCurve{Alpha: 1, Beta: 0.5, L: 1, Width: 4}
+	if got := c.SteadyOccupancy(4, 48); math.Abs(got-16) > 1e-9 {
+		t.Fatalf("occupancy %v, want 16", got)
+	}
+	if got := c.SteadyOccupancy(10, 48); got != 48 {
+		t.Fatalf("occupancy %v, want clamped 48", got)
+	}
+	if got := c.SteadyOccupancy(0, 48); got != 1 {
+		t.Fatalf("occupancy %v, want 1", got)
+	}
+}
+
+func TestBranchTransientPhases(t *testing.T) {
+	c := IWCurve{Alpha: 1, Beta: 0.5, L: 1, Width: 4}
+	pts := c.BranchTransient(48, 5, 3, 0.05)
+	var phases []TransientPhase
+	for _, p := range pts {
+		if len(phases) == 0 || phases[len(phases)-1] != p.Phase {
+			phases = append(phases, p.Phase)
+		}
+	}
+	want := []TransientPhase{PhaseSteady, PhaseDrain, PhaseRefill, PhaseRamp}
+	if len(phases) != len(want) {
+		t.Fatalf("phases %v, want %v", phases, want)
+	}
+	for i := range want {
+		if phases[i] != want[i] {
+			t.Fatalf("phases %v, want %v", phases, want)
+		}
+	}
+	refill := 0
+	for _, p := range pts {
+		if p.Phase == PhaseRefill {
+			refill++
+			if p.Issue != 0 {
+				t.Fatal("refill cycle with non-zero issue")
+			}
+		}
+	}
+	if refill != 5 {
+		t.Fatalf("refill %d cycles, want ΔP=5", refill)
+	}
+}
+
+func TestICacheTransientShape(t *testing.T) {
+	c := IWCurve{Alpha: 1, Beta: 0.5, L: 1, Width: 4}
+	pts := c.ICacheTransient(48, 5, 32, 2, 0.05)
+	// The front-end buffer keeps issue at steady for ΔP cycles after the
+	// miss (lead 2 + 5 buffered = first 7 cycles at steady).
+	for i := 0; i < 7; i++ {
+		if pts[i].Issue != 4 {
+			t.Fatalf("cycle %d issue %v, want buffered steady 4", i+1, pts[i].Issue)
+		}
+	}
+	// Eventually issue hits zero (idle on miss) and recovers.
+	sawZero, recovered := false, false
+	for _, p := range pts {
+		if p.Issue == 0 {
+			sawZero = true
+		}
+		if sawZero && p.Issue > 3.5 {
+			recovered = true
+		}
+	}
+	if !sawZero || !recovered {
+		t.Fatalf("transient shape wrong: zero=%v recovered=%v", sawZero, recovered)
+	}
+}
+
+func TestDCacheTransientShape(t *testing.T) {
+	c := IWCurve{Alpha: 1, Beta: 0.5, L: 1, Width: 4}
+	pts := c.DCacheTransient(48, 128, 24, 200, 2, 0.05)
+	// Issue continues at steady while the ROB fills: (128−24)/4 = 26
+	// cycles after the 2 lead cycles.
+	for i := 0; i < 2+26; i++ {
+		if pts[i].Issue != 4 {
+			t.Fatalf("cycle %d issue %v, want steady during rob-fill", i+1, pts[i].Issue)
+		}
+	}
+	// A long idle stretch follows, then ramp-up.
+	zeros := 0
+	for _, p := range pts {
+		if p.Issue == 0 {
+			zeros++
+		}
+	}
+	if zeros < 100 {
+		t.Fatalf("idle stretch %d cycles, want most of ΔD", zeros)
+	}
+	if last := pts[len(pts)-1]; last.Issue < 3.5 {
+		t.Fatalf("ramp did not recover: %v", last.Issue)
+	}
+}
+
+func TestRampIssueTraceBudget(t *testing.T) {
+	c := IWCurve{Alpha: 1, Beta: 0.5, L: 1, Width: 4}
+	pts := c.RampIssueTrace(5, 100)
+	var issued float64
+	for _, p := range pts {
+		issued += p.Issue
+	}
+	if math.Abs(issued-100) > 1e-9 {
+		t.Fatalf("issued %v, want the 100-instruction budget", issued)
+	}
+	for i := 0; i < 5; i++ {
+		if pts[i].Issue != 0 {
+			t.Fatal("refill cycles must not issue")
+		}
+	}
+}
+
+func TestTransientPhaseStrings(t *testing.T) {
+	for p, want := range map[TransientPhase]string{
+		PhaseSteady: "steady", PhaseDrain: "drain", PhaseRefill: "refill",
+		PhaseRamp: "ramp", TransientPhase(9): "unknown",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestPropertyCPINonNegativeAndMonotoneInMissRates(t *testing.T) {
+	m := DefaultMachine()
+	f := func(misp, dmiss uint8) bool {
+		in := squareLawInputs()
+		in.MispredictsPerInstr = float64(misp) / 1000
+		in.DCacheLongPerInstr = float64(dmiss) / 1000
+		a, err := m.Estimate(in, Options{})
+		if err != nil {
+			return false
+		}
+		in.MispredictsPerInstr += 0.001
+		b, err := m.Estimate(in, Options{})
+		if err != nil {
+			return false
+		}
+		return a.CPI > 0 && b.CPI > a.CPI
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDrainRampNonNegative(t *testing.T) {
+	f := func(a8, b8, l8, w8 uint8) bool {
+		alpha := 0.5 + float64(a8%20)/10 // 0.5..2.4
+		beta := 0.2 + float64(b8%12)/20  // 0.2..0.75
+		l := 1 + float64(l8%30)/10       // 1..3.9
+		width := 1 + int(w8%8)           // 1..8
+		c := IWCurve{Alpha: alpha, Beta: beta, L: l, Width: float64(width)}
+		steady := c.Eval(48)
+		return c.Drain(48, steady) >= -1e-9 && c.RampUp(steady, 0.05) >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

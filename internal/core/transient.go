@@ -1,0 +1,406 @@
+package core
+
+import "math"
+
+// IWCurve is the latency-adjusted, width-limited IW characteristic: the
+// average issue rate as a function of window occupancy,
+//
+//	I(w) = min(Width, Alpha · w^Beta / L)
+//
+// (§3 of the paper: the unit-latency power law divided by the average
+// latency L per Little's law, saturating at the machine issue width). With
+// Smooth set, the hard clip is replaced by a harmonic soft-min for the
+// saturation ablation.
+type IWCurve struct {
+	Alpha, Beta float64
+	L           float64
+	Width       float64
+	Smooth      bool
+}
+
+// Eval returns the issue rate at window occupancy w (also bounded by w:
+// the window cannot issue more instructions than it holds).
+func (c IWCurve) Eval(w float64) float64 {
+	if w <= 0 {
+		return 0
+	}
+	raw := c.Alpha * math.Pow(w, c.Beta) / c.L
+	var i float64
+	if c.Smooth {
+		// p-norm soft-min: approaches min(raw, Width) away from the
+		// knee and rounds the corner near saturation (within 16% at
+		// raw = Width for p = 4).
+		const p = 4
+		i = math.Pow(math.Pow(raw, -p)+math.Pow(c.Width, -p), -1.0/p)
+	} else {
+		i = math.Min(raw, c.Width)
+	}
+	return math.Min(i, w)
+}
+
+// SteadyOccupancy returns the occupancy at which the curve sustains the
+// given issue rate: (rate·L/Alpha)^(1/Beta), clamped to [1, maxW]. This is
+// where the drain transient starts — in saturation the window sits at the
+// occupancy that just feeds the issue width, and an unsaturated machine
+// runs with the window full.
+func (c IWCurve) SteadyOccupancy(rate, maxW float64) float64 {
+	if rate <= 0 || c.Alpha <= 0 || c.Beta == 0 {
+		return 1
+	}
+	w := math.Pow(rate*c.L/c.Alpha, 1/c.Beta)
+	if w > maxW {
+		w = maxW
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// maxTransientCycles bounds the discrete integrations; transients of any
+// realistic machine converge within tens of cycles.
+const maxTransientCycles = 100000
+
+// Drain integrates the window-drain transient of §4.1: starting from the
+// steady-state occupancy, fetch stops and the window empties following the
+// IW characteristic; the mispredicted branch (the oldest instruction) is
+// modeled as issuing when one instruction remains. The returned penalty is
+// the drain time minus the time the same instructions would have taken at
+// the steady rate — the paper's Fig. 8 construction (2.1 cycles for α=1,
+// β=0.5, width 4).
+func (c IWCurve) Drain(windowSize, steadyRate float64) float64 {
+	if steadyRate <= 0 {
+		return 0
+	}
+	w := c.SteadyOccupancy(steadyRate, windowSize)
+	start := w
+	cycles := 0.0
+	for w > 1 && cycles < maxTransientCycles {
+		i := c.Eval(w)
+		if i <= 0 {
+			break
+		}
+		w -= i
+		cycles++
+	}
+	issued := start - w
+	return cycles - issued/steadyRate
+}
+
+// RampUp integrates the ramp-up transient of §4.1: the window starts empty,
+// the front end dispatches Width instructions per cycle, and issue follows
+// the IW characteristic while the window fills like a leaky bucket. The
+// integration stops once the issue rate reaches (1−epsilon) of steady; the
+// returned penalty is the accumulated issue deficit converted to cycles at
+// the steady rate (2.7 cycles for α=1, β=0.5, width 4 with epsilon 0.05 —
+// the paper's Fig. 8).
+func (c IWCurve) RampUp(steadyRate, epsilon float64) float64 {
+	if steadyRate <= 0 {
+		return 0
+	}
+	target := (1 - epsilon) * steadyRate
+	w := 0.0
+	deficit := 0.0
+	for cycles := 0; cycles < maxTransientCycles; cycles++ {
+		w += c.Width // dispatch fills the window first
+		i := c.Eval(w)
+		w -= i
+		deficit += steadyRate - i
+		if i >= target {
+			break
+		}
+	}
+	return deficit / steadyRate
+}
+
+// TransientPoint is one cycle of a simulated issue-rate transient.
+type TransientPoint struct {
+	Cycle int
+	// Issue is the number of instructions issued this cycle.
+	Issue float64
+	// Window is the occupancy at the end of the cycle.
+	Window float64
+	// Phase labels which regime the cycle belongs to.
+	Phase TransientPhase
+}
+
+// TransientPhase labels the regimes of a miss-event transient.
+type TransientPhase int
+
+const (
+	// PhaseSteady is background issue at the steady rate.
+	PhaseSteady TransientPhase = iota
+	// PhaseDrain is the window emptying after fetch stops.
+	PhaseDrain
+	// PhaseRefill is the front-end pipeline refill (zero issue).
+	PhaseRefill
+	// PhaseRamp is the issue ramp-up while the window refills.
+	PhaseRamp
+)
+
+// String names the phase.
+func (p TransientPhase) String() string {
+	switch p {
+	case PhaseSteady:
+		return "steady"
+	case PhaseDrain:
+		return "drain"
+	case PhaseRefill:
+		return "refill"
+	case PhaseRamp:
+		return "ramp"
+	default:
+		return "unknown"
+	}
+}
+
+// BranchTransient generates the per-cycle issue trace of an isolated
+// branch misprediction (the paper's Fig. 8): steady-state issue for lead
+// cycles, window drain after fetch stops, frontEndDepth cycles of pipeline
+// refill at zero issue, and ramp-up back to within epsilon of steady.
+func (c IWCurve) BranchTransient(windowSize float64, frontEndDepth, lead int, epsilon float64) []TransientPoint {
+	steady := c.Eval(windowSize)
+	var pts []TransientPoint
+	cycle := 0
+	add := func(issue, w float64, ph TransientPhase) {
+		cycle++
+		pts = append(pts, TransientPoint{Cycle: cycle, Issue: issue, Window: w, Phase: ph})
+	}
+	w := c.SteadyOccupancy(steady, windowSize)
+	for k := 0; k < lead; k++ {
+		add(steady, w, PhaseSteady)
+	}
+	// Drain: fetch has stopped; the mispredicted branch issues when one
+	// instruction remains.
+	for w > 1 && cycle < maxTransientCycles {
+		i := c.Eval(w)
+		if i <= 0 {
+			break
+		}
+		w -= i
+		add(i, w, PhaseDrain)
+	}
+	// Refill: correct-path instructions traverse the front end.
+	for k := 0; k < frontEndDepth; k++ {
+		add(0, 0, PhaseRefill)
+	}
+	// Ramp-up.
+	w = 0
+	target := (1 - epsilon) * steady
+	for cycle < maxTransientCycles {
+		w += c.Width
+		i := c.Eval(w)
+		w -= i
+		add(i, w, PhaseRamp)
+		if i >= target {
+			break
+		}
+	}
+	return pts
+}
+
+// ICacheTransient generates the per-cycle issue trace of an isolated
+// instruction cache miss (the paper's Fig. 10): steady issue while the
+// front-end buffers keep the window fed, window drain once they empty, an
+// idle gap until the miss delay elapses, pipeline refill, and ramp-up. The
+// buffered phase lasts frontEndDepth cycles (the depth of the front-end
+// pipeline at width instructions per stage).
+func (c IWCurve) ICacheTransient(windowSize float64, frontEndDepth, missDelay, lead int, epsilon float64) []TransientPoint {
+	steady := c.Eval(windowSize)
+	var pts []TransientPoint
+	cycle := 0
+	add := func(issue, w float64, ph TransientPhase) {
+		cycle++
+		pts = append(pts, TransientPoint{Cycle: cycle, Issue: issue, Window: w, Phase: ph})
+	}
+	w := c.SteadyOccupancy(steady, windowSize)
+	for k := 0; k < lead; k++ {
+		add(steady, w, PhaseSteady)
+	}
+	// Front-end buffers keep dispatching for ~ΔP cycles after the miss.
+	elapsed := 0
+	for k := 0; k < frontEndDepth && elapsed < missDelay; k++ {
+		add(steady, w, PhaseSteady)
+		elapsed++
+	}
+	// Window drains.
+	for w > 1 && elapsed < missDelay && cycle < maxTransientCycles {
+		i := c.Eval(w)
+		if i <= 0 {
+			break
+		}
+		w -= i
+		add(i, w, PhaseDrain)
+		elapsed++
+	}
+	// Idle until the line arrives, then refill the front end.
+	for ; elapsed < missDelay; elapsed++ {
+		add(0, w, PhaseDrain)
+	}
+	for k := 0; k < frontEndDepth; k++ {
+		add(0, w, PhaseRefill)
+	}
+	// Ramp-up from whatever occupancy survived.
+	target := (1 - epsilon) * steady
+	for cycle < maxTransientCycles {
+		w += c.Width
+		i := c.Eval(w)
+		w -= i
+		add(i, w, PhaseRamp)
+		if i >= target {
+			break
+		}
+	}
+	return pts
+}
+
+// DCacheTransient generates the per-cycle issue trace of an isolated long
+// data cache miss (the paper's Fig. 12): steady issue continues while the
+// reorder buffer fills behind the blocked load (rob_fill ≈ free slots ÷
+// width cycles), then issue stops until the data returns ΔD cycles after
+// the miss, retirement drains the ROB, and issue ramps back up. The
+// occupancy parameter gives the ROB occupancy when the load misses;
+// following §4.3 the load is old, so most of the ROB is free to fill.
+func (c IWCurve) DCacheTransient(windowSize float64, robSize, occupancy, missDelay, lead int, epsilon float64) []TransientPoint {
+	steady := c.Eval(windowSize)
+	var pts []TransientPoint
+	cycle := 0
+	add := func(issue, w float64, ph TransientPhase) {
+		cycle++
+		pts = append(pts, TransientPoint{Cycle: cycle, Issue: issue, Window: w, Phase: ph})
+	}
+	w := c.SteadyOccupancy(steady, windowSize)
+	for k := 0; k < lead; k++ {
+		add(steady, w, PhaseSteady)
+	}
+	elapsed := 0
+	// ROB fills behind the missing load at the dispatch rate while
+	// independent instructions keep issuing.
+	robFill := int(float64(robSize-occupancy)/c.Width + 0.5)
+	for k := 0; k < robFill && elapsed < missDelay; k++ {
+		add(steady, w, PhaseSteady)
+		elapsed++
+	}
+	// Dispatch has stalled; the window drains of independent work.
+	for w > 1 && elapsed < missDelay && cycle < maxTransientCycles {
+		i := c.Eval(w)
+		if i <= 0 {
+			break
+		}
+		w -= i
+		add(i, w, PhaseDrain)
+		elapsed++
+	}
+	for ; elapsed < missDelay; elapsed++ {
+		add(0, 0, PhaseDrain)
+	}
+	// Data returns; retirement frees the ROB and issue ramps up.
+	target := (1 - epsilon) * steady
+	w = 0
+	for cycle < maxTransientCycles {
+		w += c.Width
+		i := c.Eval(w)
+		w -= i
+		add(i, w, PhaseRamp)
+		if i >= target {
+			break
+		}
+	}
+	return pts
+}
+
+// PairedDCacheTransient generates the per-cycle issue trace of two
+// overlapped long data misses (the paper's Fig. 13): ld1 misses, issue
+// continues while the ROB fills; ld2 — independent of ld1 and within ROB
+// distance y — issues before dispatch stalls, so its miss delay runs
+// concurrently. When ld1's data returns, the instructions between the two
+// loads retire, dispatch briefly resumes, and everything then waits for
+// ld2's data, which arrives y cycles later; the y terms cancel in the
+// total (equation 7) and the pair costs about one isolated penalty.
+func (c IWCurve) PairedDCacheTransient(windowSize float64, robSize, occupancy, missDelay, y, lead int, epsilon float64) []TransientPoint {
+	steady := c.Eval(windowSize)
+	var pts []TransientPoint
+	cycle := 0
+	add := func(issue, w float64, ph TransientPhase) {
+		cycle++
+		pts = append(pts, TransientPoint{Cycle: cycle, Issue: issue, Window: w, Phase: ph})
+	}
+	w := c.SteadyOccupancy(steady, windowSize)
+	for k := 0; k < lead; k++ {
+		add(steady, w, PhaseSteady)
+	}
+	// ld1 misses at time 0; ld2 issues y cycles later (both counted in
+	// the fill phase). The ROB fills behind ld1 while independent work
+	// issues, then the window drains and issue idles until ld1's data
+	// returns at missDelay.
+	elapsed := 0
+	robFill := int(float64(robSize-occupancy)/c.Width + 0.5)
+	for k := 0; k < robFill && elapsed < missDelay; k++ {
+		add(steady, w, PhaseSteady)
+		elapsed++
+	}
+	for w > 1 && elapsed < missDelay && cycle < maxTransientCycles {
+		i := c.Eval(w)
+		if i <= 0 {
+			break
+		}
+		w -= i
+		add(i, w, PhaseDrain)
+		elapsed++
+	}
+	for ; elapsed < missDelay; elapsed++ {
+		add(0, 0, PhaseDrain)
+	}
+	// ld1's data returns: the instructions between ld1 and ld2 retire
+	// and an equivalent number dispatch and issue (a brief burst), after
+	// which everything waits the remaining y cycles for ld2's data.
+	burst := float64(y) * c.Width / c.Width // y dispatch-cycles of work
+	for k := 0; k < y && cycle < maxTransientCycles; k++ {
+		issue := math.Min(c.Width, burst)
+		if issue < 0 {
+			issue = 0
+		}
+		burst -= issue
+		add(issue, 0, PhaseDrain)
+	}
+	// ld2 retires; ramp back to steady.
+	w = 0
+	target := (1 - epsilon) * steady
+	for cycle < maxTransientCycles {
+		w += c.Width
+		i := c.Eval(w)
+		w -= i
+		add(i, w, PhaseRamp)
+		if i >= target {
+			break
+		}
+	}
+	return pts
+}
+
+// RampIssueTrace returns the per-cycle issue rates between two branch
+// mispredictions that are instrBudget useful instructions apart (the
+// paper's Fig. 19): frontEndDepth cycles of refill at zero issue, then
+// ramp-up along the IW characteristic until the budget is consumed.
+func (c IWCurve) RampIssueTrace(frontEndDepth int, instrBudget float64) []TransientPoint {
+	var pts []TransientPoint
+	cycle := 0
+	for k := 0; k < frontEndDepth; k++ {
+		cycle++
+		pts = append(pts, TransientPoint{Cycle: cycle, Issue: 0, Window: 0, Phase: PhaseRefill})
+	}
+	w := 0.0
+	remaining := instrBudget
+	for remaining > 0 && cycle < maxTransientCycles {
+		w += c.Width
+		i := c.Eval(w)
+		if i > remaining {
+			i = remaining
+		}
+		w -= i
+		remaining -= i
+		cycle++
+		pts = append(pts, TransientPoint{Cycle: cycle, Issue: i, Window: w, Phase: PhaseRamp})
+	}
+	return pts
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPipelineDepthStudyShapes(t *testing.T) {
+	depths := make([]int, 100)
+	for i := range depths {
+		depths[i] = i + 1
+	}
+	pts3, err := PipelineDepthStudy(3, depths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IPC decreases monotonically with depth.
+	for i := 1; i < len(pts3); i++ {
+		if pts3[i].IPC >= pts3[i-1].IPC {
+			t.Fatalf("IPC not decreasing at depth %d", pts3[i].Depth)
+		}
+	}
+	// BIPS has an interior optimum near the paper's ~55 stages.
+	opt3 := OptimalDepth(pts3)
+	if opt3.Depth < 40 || opt3.Depth > 75 {
+		t.Fatalf("width-3 optimal depth %d, paper ≈55", opt3.Depth)
+	}
+
+	// Wider issue moves the optimum shallower.
+	pts8, err := PipelineDepthStudy(8, depths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt8 := OptimalDepth(pts8)
+	if opt8.Depth >= opt3.Depth {
+		t.Fatalf("width-8 optimum (%d) not shallower than width-3 (%d)", opt8.Depth, opt3.Depth)
+	}
+
+	// Deep pipelines lose the advantage of wider issue (Fig. 17a): the
+	// IPC ratio between width 8 and width 2 shrinks with depth.
+	pts2, err := PipelineDepthStudy(2, depths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallowRatio := pts8[0].IPC / pts2[0].IPC
+	deepRatio := pts8[99].IPC / pts2[99].IPC
+	if deepRatio >= shallowRatio {
+		t.Fatalf("wide-issue advantage did not shrink with depth: %v vs %v", shallowRatio, deepRatio)
+	}
+}
+
+func TestPipelineDepthStudyErrors(t *testing.T) {
+	if _, err := PipelineDepthStudy(0, []int{1}); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := PipelineDepthStudy(4, []int{0}); err == nil {
+		t.Fatal("zero depth accepted")
+	}
+}
+
+func TestCycleTimeModel(t *testing.T) {
+	pts, err := PipelineDepthStudy(4, []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BIPS = IPC / (8200/10 + 90) ps × 1000.
+	want := pts[0].IPC / (8200.0/10 + 90) * 1000
+	if math.Abs(pts[0].BIPS-want) > 1e-12 {
+		t.Fatalf("BIPS %v, want %v", pts[0].BIPS, want)
+	}
+}
+
+func TestIssueWidthStudyQuadratic(t *testing.T) {
+	fractions := []float64{0.1, 0.3, 0.5}
+	req4, err := IssueWidthStudy(4, 5, fractions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req8, err := IssueWidthStudy(8, 5, fractions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req16, err := IssueWidthStudy(16, 5, fractions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fractions {
+		r1 := req8[i].InstrBetweenMispredicts / req4[i].InstrBetweenMispredicts
+		r2 := req16[i].InstrBetweenMispredicts / req8[i].InstrBetweenMispredicts
+		if r1 < 3 || r1 > 5.5 || r2 < 3 || r2 > 5.5 {
+			t.Fatalf("width doubling ratios %.2f, %.2f at f=%v — want ≈4 (quadratic)", r1, r2, fractions[i])
+		}
+	}
+	// The requirement grows with the demanded fraction.
+	for i := 1; i < len(fractions); i++ {
+		if req4[i].InstrBetweenMispredicts <= req4[i-1].InstrBetweenMispredicts {
+			t.Fatal("requirement not increasing with fraction")
+		}
+	}
+}
+
+func TestIssueWidthStudyErrors(t *testing.T) {
+	if _, err := IssueWidthStudy(0, 5, []float64{0.5}); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := IssueWidthStudy(4, 0, []float64{0.5}); err == nil {
+		t.Fatal("zero depth accepted")
+	}
+	if _, err := IssueWidthStudy(4, 5, []float64{1.5}); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+}
+
+func TestTrendWorkload(t *testing.T) {
+	in := TrendWorkload()
+	if err := in.Validate(); err != nil {
+		t.Fatalf("trend workload invalid: %v", err)
+	}
+	if in.MispredictsPerInstr != 0.01 {
+		t.Fatalf("mispredict rate %v, want 0.01 (1-in-5 branches, 5%%)", in.MispredictsPerInstr)
+	}
+}
+
+func TestOptimalDepthEmpty(t *testing.T) {
+	// With no points the result is the zero point with -Inf BIPS; all we
+	// require is that it does not panic and reports no depth.
+	p := OptimalDepth(nil)
+	if p.Depth != 0 {
+		t.Fatalf("empty optimum depth %d", p.Depth)
+	}
+}
+
+func TestInputsFromAnalysisRoundTrip(t *testing.T) {
+	// Adapter correctness is covered with real data in the experiments
+	// tests; here check that saturatingWindow gives a window that indeed
+	// saturates.
+	in := TrendWorkload()
+	for _, width := range []int{2, 4, 8, 16} {
+		w := saturatingWindow(width, in)
+		c := IWCurve{Alpha: in.Alpha, Beta: in.Beta, L: in.AvgLatency, Width: float64(width)}
+		if got := c.Eval(float64(w)); got < float64(width) {
+			t.Fatalf("window %d does not saturate width %d (rate %v)", w, width, got)
+		}
+	}
+}
+
+func TestOptimalDepthClosedFormMatchesSweep(t *testing.T) {
+	depths := make([]int, 100)
+	for i := range depths {
+		depths[i] = i + 1
+	}
+	for _, width := range []int{2, 3, 4, 8} {
+		pts, err := PipelineDepthStudy(width, depths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		numeric := OptimalDepth(pts).Depth
+		closed, err := OptimalDepthClosedForm(width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(closed-float64(numeric)) > 3 {
+			t.Errorf("width %d: closed form %.1f vs numeric %d", width, closed, numeric)
+		}
+	}
+	if _, err := OptimalDepthClosedForm(0); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// The purely analytic experiments (no workload generation involved) must
+// render byte-identically forever; golden files lock them down. Regenerate
+// deliberately with:
+//
+//	go test ./internal/experiments -run TestGolden -update
+func TestGoldenAnalyticFigures(t *testing.T) {
+	s := smallSuite() // analytic figures ignore the workloads
+	cases := []struct {
+		name string
+		run  func(*Suite) (Renderable, error)
+	}{
+		{"fig8", func(s *Suite) (Renderable, error) { return Figure8(s) }},
+		{"fig10", func(s *Suite) (Renderable, error) { return Figure10(s) }},
+		{"fig12", func(s *Suite) (Renderable, error) { return Figure12(s) }},
+		{"fig13", func(s *Suite) (Renderable, error) { return Figure13(s) }},
+		{"fig17", func(s *Suite) (Renderable, error) { return Figure17(s) }},
+		{"fig18", func(s *Suite) (Renderable, error) { return Figure18(s) }},
+		{"fig19", func(s *Suite) (Renderable, error) { return Figure19(s) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := tc.run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Render()
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s render changed; rerun with -update if intentional.\ngot:\n%s\nwant:\n%s",
+					tc.name, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fomodel/internal/uarch"
+)
+
+// Figure2Row is one benchmark of the paper's Fig. 2 (and the §1.1
+// methodology behind it): the five-simulation demonstration that
+// miss-event penalties add almost independently.
+type Figure2Row struct {
+	Name string
+	// CombinedIPC is simulation 2: real caches and real predictor.
+	CombinedIPC float64
+	// IndependentIPC adds each miss-event's isolated time penalty
+	// (simulations 3, 4, 5 minus simulation 1) to the ideal time.
+	IndependentIPC float64
+	// CompensatedIPC additionally ignores branch and I-cache penalties
+	// that overlapped a long data-cache miss.
+	CompensatedIPC float64
+	// IndependentErr and CompensatedErr are relative IPC errors against
+	// CombinedIPC.
+	IndependentErr float64
+	CompensatedErr float64
+}
+
+// Figure2Result is the full Fig. 2 dataset.
+type Figure2Result struct {
+	Rows []Figure2Row
+	// MeanIndependentErr / MeanCompensatedErr are mean absolute relative
+	// errors (the paper reports 5% and 4%).
+	MeanIndependentErr float64
+	MeanCompensatedErr float64
+}
+
+// Figure2 runs the five simulator configurations per benchmark and builds
+// the independence demonstration.
+func Figure2(s *Suite) (*Figure2Result, error) {
+	res := &Figure2Result{}
+	err := s.EachWorkload(func(w *Workload) error {
+		ideal, err := s.Simulate(w, func(c *uarch.Config) {
+			c.IdealICache, c.IdealDCache, c.IdealPredictor = true, true, true
+		})
+		if err != nil {
+			return err
+		}
+		brOnly, err := s.Simulate(w, func(c *uarch.Config) {
+			c.IdealICache, c.IdealDCache = true, true
+		})
+		if err != nil {
+			return err
+		}
+		icOnly, err := s.Simulate(w, func(c *uarch.Config) {
+			c.IdealDCache, c.IdealPredictor = true, true
+		})
+		if err != nil {
+			return err
+		}
+		dOnly, err := s.Simulate(w, func(c *uarch.Config) {
+			c.IdealICache, c.IdealPredictor = true, true
+		})
+		if err != nil {
+			return err
+		}
+		combined, err := s.Simulate(w, nil)
+		if err != nil {
+			return err
+		}
+
+		n := float64(w.Trace.Len())
+		brPenalty := float64(brOnly.Cycles - ideal.Cycles)
+		icPenalty := float64(icOnly.Cycles - ideal.Cycles)
+		dPenalty := float64(dOnly.Cycles - ideal.Cycles)
+		indepCycles := float64(ideal.Cycles) + brPenalty + icPenalty + dPenalty
+
+		// Overlap compensation: drop the per-event penalty for the
+		// branch mispredictions and I-cache misses that the combined run
+		// observed under an outstanding long data miss.
+		var perBr, perIC float64
+		if brOnly.Mispredicts > 0 {
+			perBr = brPenalty / float64(brOnly.Mispredicts)
+		}
+		if icMisses := icOnly.ICacheShort + icOnly.ICacheLong; icMisses > 0 {
+			perIC = icPenalty / float64(icMisses)
+		}
+		compCycles := indepCycles -
+			float64(combined.MispredictsOverlapped)*perBr -
+			float64(combined.ICacheOverlapped)*perIC
+
+		row := Figure2Row{
+			Name:           w.Name,
+			CombinedIPC:    combined.IPC(),
+			IndependentIPC: n / indepCycles,
+			CompensatedIPC: n / compCycles,
+		}
+		row.IndependentErr = relErr(row.IndependentIPC, row.CombinedIPC)
+		row.CompensatedErr = relErr(row.CompensatedIPC, row.CombinedIPC)
+		res.Rows = append(res.Rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range res.Rows {
+		res.MeanIndependentErr += abs(r.IndependentErr)
+		res.MeanCompensatedErr += abs(r.CompensatedErr)
+	}
+	res.MeanIndependentErr /= float64(len(res.Rows))
+	res.MeanCompensatedErr /= float64(len(res.Rows))
+	return res, nil
+}
+
+// tab builds the result table.
+func (r *Figure2Result) tab() *table {
+	t := &table{
+		title:  "Figure 2: independence of miss-event penalties (IPC)",
+		header: []string{"bench", "combined", "independent", "err", "compensated", "err"},
+	}
+	for _, row := range r.Rows {
+		t.addRow(row.Name, f3(row.CombinedIPC),
+			f3(row.IndependentIPC), pct(row.IndependentErr),
+			f3(row.CompensatedIPC), pct(row.CompensatedErr))
+	}
+	t.addNote("mean |err|: independent %s (paper ~5%%), compensated %s (paper ~4%%)",
+		pct(r.MeanIndependentErr), pct(r.MeanCompensatedErr))
+	return t
+}
+
+// Render prints the table as aligned text.
+func (r *Figure2Result) Render() string { return r.tab().String() }
+
+// CSV renders the table as comma-separated values.
+func (r *Figure2Result) CSV() string { return r.tab().CSV() }
+
+func relErr(est, ref float64) float64 {
+	if ref == 0 {
+		return 0
+	}
+	return (est - ref) / ref
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"time"
+
+	"fomodel/internal/sampling"
+	"fomodel/internal/statsim"
+)
+
+// MethodsRow compares every estimation methodology in the repository on
+// one benchmark against full detailed simulation.
+type MethodsRow struct {
+	Name   string
+	RefCPI float64
+	// Model / StatSim / Sampled are the estimates; the *Err fields their
+	// relative errors.
+	Model, StatSim, Sampled          float64
+	ModelErr, StatSimErr, SampledErr float64
+}
+
+// MethodsResult is the accuracy/cost landscape the paper's introduction
+// draws: detailed simulation is the accurate-but-slow reference, and the
+// alternatives trade accuracy for speed in different ways.
+type MethodsResult struct {
+	Rows []MethodsRow
+	// Mean errors per methodology.
+	MeanModelErr, MeanStatSimErr, MeanSampledErr float64
+	// Wall-clock totals per methodology across all benchmarks (the
+	// reference simulation time is RefTime).
+	RefTime, ModelTime, StatSimTime, SampledTime time.Duration
+	// SampledFraction is the fraction of each trace timed by sampling.
+	SampledFraction float64
+}
+
+// MethodologyComparison runs the four-way study. The model's time counts
+// only Estimate evaluation (its trace analyses are shared with the other
+// methodologies and already cached in the suite).
+func MethodologyComparison(s *Suite) (*MethodsResult, error) {
+	res := &MethodsResult{}
+	// Longer windows shrink sampling's end-of-window drain bias (each
+	// window pays the full latency of its in-flight misses before it can
+	// finish); N/40-instruction windows (25% of the trace timed) keep it moderate.
+	sc := sampling.Config{WindowLen: s.N / 40, Period: s.N / 10}
+	err := s.EachWorkload(func(w *Workload) error {
+		t0 := time.Now()
+		ref, err := s.Simulate(w, nil)
+		if err != nil {
+			return err
+		}
+		res.RefTime += time.Since(t0)
+
+		t0 = time.Now()
+		est, err := s.Machine.Estimate(w.Inputs, modelOptions())
+		if err != nil {
+			return err
+		}
+		res.ModelTime += time.Since(t0)
+
+		t0 = time.Now()
+		ss, _, err := statsim.Simulate(w.Trace, s.Sim, s.Seed+0x5757)
+		if err != nil {
+			return err
+		}
+		res.StatSimTime += time.Since(t0)
+
+		t0 = time.Now()
+		sp, err := sampling.Estimate(w.Trace, s.Sim, sc)
+		if err != nil {
+			return err
+		}
+		res.SampledTime += time.Since(t0)
+		res.SampledFraction = sp.SampledFraction()
+
+		row := MethodsRow{
+			Name:    w.Name,
+			RefCPI:  ref.CPI(),
+			Model:   est.CPI,
+			StatSim: ss.CPI(),
+			Sampled: sp.CPI,
+		}
+		row.ModelErr = relErr(row.Model, row.RefCPI)
+		row.StatSimErr = relErr(row.StatSim, row.RefCPI)
+		row.SampledErr = relErr(row.Sampled, row.RefCPI)
+		res.Rows = append(res.Rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := float64(len(res.Rows))
+	for _, r := range res.Rows {
+		res.MeanModelErr += abs(r.ModelErr)
+		res.MeanStatSimErr += abs(r.StatSimErr)
+		res.MeanSampledErr += abs(r.SampledErr)
+	}
+	res.MeanModelErr /= n
+	res.MeanStatSimErr /= n
+	res.MeanSampledErr /= n
+	return res, nil
+}
+
+// tab builds the result table.
+func (r *MethodsResult) tab() *table {
+	t := &table{
+		title:  "Methodology comparison (reference: full detailed simulation)",
+		header: []string{"bench", "reference", "model", "err", "stat-sim", "err", "sampled", "err"},
+	}
+	for _, row := range r.Rows {
+		t.addRow(row.Name, f3(row.RefCPI),
+			f3(row.Model), pct(row.ModelErr),
+			f3(row.StatSim), pct(row.StatSimErr),
+			f3(row.Sampled), pct(row.SampledErr))
+	}
+	t.addNote("mean |err|: model %s, statistical simulation %s, %s-sampled simulation %s",
+		pct(r.MeanModelErr), pct(r.MeanStatSimErr), pct(r.SampledFraction), pct(r.MeanSampledErr))
+	t.addNote("sampled CPI is biased up by the end-of-window drain of in-flight misses;")
+	t.addNote("the bias shrinks with window length")
+	t.addNote("wall clock: reference %v, model %v, stat-sim %v, sampled %v",
+		r.RefTime.Round(time.Millisecond), r.ModelTime.Round(time.Microsecond),
+		r.StatSimTime.Round(time.Millisecond), r.SampledTime.Round(time.Millisecond))
+	return t
+}
+
+// Render prints the table as aligned text.
+func (r *MethodsResult) Render() string { return r.tab().String() }
+
+// CSV renders the table as comma-separated values.
+func (r *MethodsResult) CSV() string { return r.tab().CSV() }

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fomodel/internal/core"
+	"fomodel/internal/predictor"
+	"fomodel/internal/stats"
+	"fomodel/internal/uarch"
+)
+
+// PredictorPoint is one (predictor, benchmark) sample of the predictor
+// sensitivity study.
+type PredictorPoint struct {
+	Predictor string
+	Bench     string
+	// MispredictRate is the functional mispredictions per branch.
+	MispredictRate float64
+	SimCPI         float64
+	ModelCPI       float64
+	Err            float64
+}
+
+// PredictorStudyResult validates that the model's branch term tracks the
+// simulator as the predictor quality varies — the model consumes only the
+// misprediction *rate*, so any predictor that the functional analyzer can
+// simulate slots straight in.
+type PredictorStudyResult struct {
+	Points []PredictorPoint
+	// MeanAbsErrByPredictor aggregates the model error per predictor.
+	MeanAbsErrByPredictor map[string]float64
+}
+
+// PredictorStudy runs gshare (8K), bimodal (8K), and always-taken across
+// three branch-sensitive benchmarks.
+func PredictorStudy(s *Suite) (*PredictorStudyResult, error) {
+	specs := []predictor.Spec{
+		{Kind: predictor.KindGshare, IndexBits: 13},
+		{Kind: predictor.KindBimodal, IndexBits: 13},
+		{Kind: predictor.KindAlwaysTaken},
+	}
+	res := &PredictorStudyResult{MeanAbsErrByPredictor: make(map[string]float64)}
+	counts := make(map[string]int)
+	for _, bench := range []string{"gzip", "crafty", "twolf"} {
+		w, err := s.Workload(bench)
+		if err != nil {
+			return nil, err
+		}
+		for i := range specs {
+			spec := specs[i]
+			name := spec.Kind.String()
+
+			sim, err := s.Simulate(w, func(c *uarch.Config) { c.Predictor = &spec })
+			if err != nil {
+				return nil, err
+			}
+			scfg := stats.DefaultConfig()
+			scfg.Hierarchy = s.Sim.Hierarchy
+			scfg.Latencies = s.Sim.Latencies
+			scfg.ROBSize = s.Machine.ROBSize
+			scfg.Warmup = s.Sim.Warmup
+			scfg.Predictor = &spec
+			sum, err := stats.Analyze(w.Trace, scfg)
+			if err != nil {
+				return nil, err
+			}
+			in, err := core.InputsFromCurve(w.Law, w.Points, s.Machine.WindowSize, sum)
+			if err != nil {
+				return nil, err
+			}
+			est, err := s.Machine.Estimate(in, modelOptions())
+			if err != nil {
+				return nil, err
+			}
+			pt := PredictorPoint{
+				Predictor:      name,
+				Bench:          bench,
+				MispredictRate: sum.MispredictRate(),
+				SimCPI:         sim.CPI(),
+				ModelCPI:       est.CPI,
+				Err:            relErr(est.CPI, sim.CPI()),
+			}
+			res.Points = append(res.Points, pt)
+			res.MeanAbsErrByPredictor[name] += abs(pt.Err)
+			counts[name]++
+		}
+	}
+	for name, total := range res.MeanAbsErrByPredictor {
+		res.MeanAbsErrByPredictor[name] = total / float64(counts[name])
+	}
+	return res, nil
+}
+
+// tab builds the result table.
+func (r *PredictorStudyResult) tab() *table {
+	t := &table{
+		title:  "Predictor sensitivity study: the model consumes only the misprediction rate",
+		header: []string{"bench", "predictor", "misp/branch", "model CPI", "sim CPI", "err"},
+	}
+	for _, p := range r.Points {
+		t.addRow(p.Bench, p.Predictor, pct(p.MispredictRate), f3(p.ModelCPI), f3(p.SimCPI), pct(p.Err))
+	}
+	for _, name := range []string{"gshare", "bimodal", "always-taken"} {
+		if e, ok := r.MeanAbsErrByPredictor[name]; ok {
+			t.addNote("mean |err| with %s: %s", name, pct(e))
+		}
+	}
+	return t
+}
+
+// Render prints the table as aligned text.
+func (r *PredictorStudyResult) Render() string { return r.tab().String() }
+
+// CSV renders the table as comma-separated values.
+func (r *PredictorStudyResult) CSV() string { return r.tab().CSV() }

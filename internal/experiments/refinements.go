@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fomodel/internal/core"
+)
+
+// RefinementRow compares branch-penalty derivations for one benchmark
+// against the simulator.
+type RefinementRow struct {
+	Name        string
+	SimCPI      float64
+	MidpointCPI float64
+	MeasuredCPI float64
+	MidpointErr float64
+	MeasuredErr float64
+	// BurstFactor is the measured Σ f_misp(i)/i.
+	BurstFactor float64
+}
+
+// RefinementResult evaluates the paper's §7 refinement #3 — modeling
+// misprediction bursts from measured secondary statistics — against the
+// §5 midpoint heuristic.
+type RefinementResult struct {
+	Rows            []RefinementRow
+	MeanMidpointErr float64
+	MeanMeasuredErr float64
+}
+
+// BranchBurstRefinement runs the comparison over all benchmarks.
+func BranchBurstRefinement(s *Suite) (*RefinementResult, error) {
+	res := &RefinementResult{}
+	err := s.EachWorkload(func(w *Workload) error {
+		sim, err := s.Simulate(w, nil)
+		if err != nil {
+			return err
+		}
+		mid, err := s.Machine.Estimate(w.Inputs, core.Options{BranchMode: core.BranchMidpoint})
+		if err != nil {
+			return err
+		}
+		meas, err := s.Machine.Estimate(w.Inputs, core.Options{BranchMode: core.BranchMeasured})
+		if err != nil {
+			return err
+		}
+		row := RefinementRow{
+			Name:        w.Name,
+			SimCPI:      sim.CPI(),
+			MidpointCPI: mid.CPI,
+			MeasuredCPI: meas.CPI,
+			BurstFactor: w.Inputs.BranchBurstFactor,
+		}
+		row.MidpointErr = relErr(row.MidpointCPI, row.SimCPI)
+		row.MeasuredErr = relErr(row.MeasuredCPI, row.SimCPI)
+		res.Rows = append(res.Rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range res.Rows {
+		res.MeanMidpointErr += abs(r.MidpointErr)
+		res.MeanMeasuredErr += abs(r.MeasuredErr)
+	}
+	n := float64(len(res.Rows))
+	res.MeanMidpointErr /= n
+	res.MeanMeasuredErr /= n
+	return res, nil
+}
+
+// tab builds the result table.
+func (r *RefinementResult) tab() *table {
+	t := &table{
+		title:  "Refinement (§7 #3): measured misprediction bursts vs the §5 midpoint heuristic",
+		header: []string{"bench", "sim CPI", "midpoint", "err", "measured-burst", "err", "burst factor"},
+	}
+	for _, row := range r.Rows {
+		t.addRow(row.Name, f3(row.SimCPI),
+			f3(row.MidpointCPI), pct(row.MidpointErr),
+			f3(row.MeasuredCPI), pct(row.MeasuredErr),
+			f2(row.BurstFactor))
+	}
+	t.addNote("mean |err|: midpoint %s, measured bursts %s", pct(r.MeanMidpointErr), pct(r.MeanMeasuredErr))
+	return t
+}
+
+// Render prints the table as aligned text.
+func (r *RefinementResult) Render() string { return r.tab().String() }
+
+// CSV renders the table as comma-separated values.
+func (r *RefinementResult) CSV() string { return r.tab().CSV() }

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+)
+
+// SeedsResult checks that the headline Fig. 15 accuracy is a property of
+// the model, not of one lucky workload draw: the whole pipeline —
+// generation, analysis, model, simulation — is repeated across independent
+// seeds and the spread of the mean CPI error is reported.
+type SeedsResult struct {
+	Seeds []uint64
+	// MeanErrs[i] is the Fig. 15 mean |CPI error| under Seeds[i].
+	MeanErrs []float64
+	// Mean and Stddev summarize the per-seed means.
+	Mean, Stddev float64
+	// WorstBench counts how often each benchmark was the worst case.
+	WorstBench map[string]int
+}
+
+// SeedRobustness reruns Figure 15 across five seeds.
+func SeedRobustness(s *Suite) (*SeedsResult, error) {
+	res := &SeedsResult{WorstBench: make(map[string]int)}
+	for i := 0; i < 5; i++ {
+		seed := s.Seed + uint64(i)*1000
+		sub := NewSuite(s.N, seed)
+		sub.Names = s.Names
+		sub.Machine = s.Machine
+		sub.Sim = s.Sim
+		f15, err := Figure15(sub)
+		if err != nil {
+			return nil, err
+		}
+		res.Seeds = append(res.Seeds, seed)
+		res.MeanErrs = append(res.MeanErrs, f15.MeanAbsErr)
+		res.WorstBench[f15.WorstBench]++
+	}
+	var sum, sumSq float64
+	for _, e := range res.MeanErrs {
+		sum += e
+		sumSq += e * e
+	}
+	n := float64(len(res.MeanErrs))
+	res.Mean = sum / n
+	res.Stddev = math.Sqrt(math.Max(0, sumSq/n-res.Mean*res.Mean))
+	return res, nil
+}
+
+// tab builds the result table.
+func (r *SeedsResult) tab() *table {
+	t := &table{
+		title:  "Seed robustness: Fig. 15 mean CPI error across independent workload draws",
+		header: []string{"seed", "mean |err|"},
+	}
+	for i, seed := range r.Seeds {
+		t.addRow(fmt.Sprintf("%d", seed), pct(r.MeanErrs[i]))
+	}
+	t.addNote("mean of means %s ± %s", pct(r.Mean), pct(r.Stddev))
+	for bench, count := range r.WorstBench {
+		t.addNote("worst benchmark %s in %d/%d runs", bench, count, len(r.Seeds))
+	}
+	return t
+}
+
+// Render prints the table as aligned text.
+func (r *SeedsResult) Render() string { return r.tab().String() }
+
+// CSV renders the table as comma-separated values.
+func (r *SeedsResult) CSV() string { return r.tab().CSV() }

@@ -1,0 +1,204 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the index). Each experiment is a
+// function returning a typed result with a Render method that prints the
+// same rows or series the paper reports; cmd/experiments exposes them on
+// the command line and bench_test.go exposes them as benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fomodel/internal/core"
+	"fomodel/internal/iw"
+	"fomodel/internal/stats"
+	"fomodel/internal/trace"
+	"fomodel/internal/uarch"
+	"fomodel/internal/workload"
+)
+
+// Suite owns the shared experiment inputs: the benchmark list, trace
+// length, seed, and the baseline machine. Workload analyses are computed
+// once and cached; the cache is safe for concurrent use.
+type Suite struct {
+	// N is the dynamic instruction count per workload.
+	N int
+	// Seed feeds the workload generators.
+	Seed uint64
+	// Names lists the benchmarks, in report order.
+	Names []string
+	// Machine is the modeled baseline machine.
+	Machine core.Machine
+	// Sim is the baseline simulator configuration; its parameters mirror
+	// Machine.
+	Sim uarch.Config
+
+	mu    sync.Mutex
+	cache map[string]*Workload
+}
+
+// Workload bundles one benchmark's trace and every derived analysis the
+// experiments consume.
+type Workload struct {
+	Name    string
+	Trace   *trace.Trace
+	Points  []iw.Point
+	Law     iw.PowerLaw
+	Summary *stats.Summary
+	Inputs  core.Inputs
+}
+
+// NewSuite returns a Suite over all twelve benchmarks with the paper's
+// baseline machine. n is the per-benchmark dynamic instruction count
+// (500k gives stable statistics; the unit tests use less).
+func NewSuite(n int, seed uint64) *Suite {
+	m := core.DefaultMachine()
+	sim := uarch.DefaultConfig()
+	return &Suite{
+		N:       n,
+		Seed:    seed,
+		Names:   workload.Names(),
+		Machine: m,
+		Sim:     sim,
+		cache:   make(map[string]*Workload),
+	}
+}
+
+// Workload returns the cached analysis bundle for name, computing it on
+// first use.
+func (s *Suite) Workload(name string) (*Workload, error) {
+	s.mu.Lock()
+	if w, ok := s.cache[name]; ok {
+		s.mu.Unlock()
+		return w, nil
+	}
+	s.mu.Unlock()
+
+	t, err := workload.Generate(name, s.N, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	points, err := iw.Characteristic(t, iw.DefaultWindows(), iw.Options{})
+	if err != nil {
+		return nil, err
+	}
+	law, err := iw.Fit(points)
+	if err != nil {
+		return nil, err
+	}
+	scfg := stats.DefaultConfig()
+	scfg.Hierarchy = s.Sim.Hierarchy
+	scfg.PredictorBits = s.Sim.PredictorBits
+	scfg.Latencies = s.Sim.Latencies
+	scfg.ROBSize = s.Machine.ROBSize
+	scfg.Warmup = s.Sim.Warmup
+	sum, err := stats.Analyze(t, scfg)
+	if err != nil {
+		return nil, err
+	}
+	inputs, err := core.InputsFromCurve(law, points, s.Machine.WindowSize, sum)
+	if err != nil {
+		return nil, err
+	}
+	w := &Workload{
+		Name:    name,
+		Trace:   t,
+		Points:  points,
+		Law:     law,
+		Summary: sum,
+		Inputs:  inputs,
+	}
+	s.mu.Lock()
+	s.cache[name] = w
+	s.mu.Unlock()
+	return w, nil
+}
+
+// EachWorkload runs fn for every benchmark, in order, stopping at the
+// first error.
+func (s *Suite) EachWorkload(fn func(*Workload) error) error {
+	for _, name := range s.Names {
+		w, err := s.Workload(name)
+		if err != nil {
+			return err
+		}
+		if err := fn(w); err != nil {
+			return fmt.Errorf("experiments: %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Simulate runs the detailed simulator on w with the given ideal toggles,
+// starting from the suite's baseline configuration.
+func (s *Suite) Simulate(w *Workload, mutate func(*uarch.Config)) (*uarch.Result, error) {
+	cfg := s.Sim
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return uarch.Simulate(w.Trace, cfg)
+}
+
+// Estimate runs the analytical model on w with the paper's default
+// options.
+func (s *Suite) Estimate(w *Workload) (core.Estimate, error) {
+	return s.Machine.Estimate(w.Inputs, core.Options{})
+}
+
+// Registry maps experiment names ("fig2", "table1", …) to runners that
+// produce renderable results.
+type Registry map[string]func(*Suite) (Renderable, error)
+
+// Renderable is a computed experiment result that can print itself as the
+// paper-style table or series.
+type Renderable interface {
+	Render() string
+}
+
+// DefaultRegistry returns every experiment keyed by its paper label.
+func DefaultRegistry() Registry {
+	return Registry{
+		"fig2":          func(s *Suite) (Renderable, error) { return Figure2(s) },
+		"fig4":          func(s *Suite) (Renderable, error) { return Figure4(s) },
+		"table1":        func(s *Suite) (Renderable, error) { return Table1(s) },
+		"fig5":          func(s *Suite) (Renderable, error) { return Figure5(s) },
+		"fig6":          func(s *Suite) (Renderable, error) { return Figure6(s) },
+		"fig7":          func(s *Suite) (Renderable, error) { return Figure7(s) },
+		"fig8":          func(s *Suite) (Renderable, error) { return Figure8(s) },
+		"fig9":          func(s *Suite) (Renderable, error) { return Figure9(s) },
+		"fig10":         func(s *Suite) (Renderable, error) { return Figure10(s) },
+		"fig11":         func(s *Suite) (Renderable, error) { return Figure11(s) },
+		"fig12":         func(s *Suite) (Renderable, error) { return Figure12(s) },
+		"fig13":         func(s *Suite) (Renderable, error) { return Figure13(s) },
+		"fig14":         func(s *Suite) (Renderable, error) { return Figure14(s) },
+		"fig15":         func(s *Suite) (Renderable, error) { return Figure15(s) },
+		"fig16":         func(s *Suite) (Renderable, error) { return Figure16(s) },
+		"fig17":         func(s *Suite) (Renderable, error) { return Figure17(s) },
+		"fig18":         func(s *Suite) (Renderable, error) { return Figure18(s) },
+		"fig19":         func(s *Suite) (Renderable, error) { return Figure19(s) },
+		"ext-fu":        func(s *Suite) (Renderable, error) { return ExtensionFU(s) },
+		"ext-fetchbuf":  func(s *Suite) (Renderable, error) { return ExtensionFetchBuffer(s) },
+		"ext-tlb":       func(s *Suite) (Renderable, error) { return ExtensionTLB(s) },
+		"ext-cluster":   func(s *Suite) (Renderable, error) { return ExtensionClusters(s) },
+		"predictors":    func(s *Suite) (Renderable, error) { return PredictorStudy(s) },
+		"sweep-window":  func(s *Suite) (Renderable, error) { return WindowSweep(s) },
+		"sweep-rob":     func(s *Suite) (Renderable, error) { return ROBSweep(s) },
+		"statsim":       func(s *Suite) (Renderable, error) { return StatSimStudy(s) },
+		"refine-branch": func(s *Suite) (Renderable, error) { return BranchBurstRefinement(s) },
+		"methods":       func(s *Suite) (Renderable, error) { return MethodologyComparison(s) },
+		"seeds":         func(s *Suite) (Renderable, error) { return SeedRobustness(s) },
+		"inorder":       func(s *Suite) (Renderable, error) { return InOrderBaseline(s) },
+		"littleslaw":    func(s *Suite) (Renderable, error) { return LittlesLaw(s) },
+	}
+}
+
+// Labels returns the registry's experiment names, sorted.
+func (r Registry) Labels() []string {
+	labels := make([]string, 0, len(r))
+	for l := range r {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fomodel/internal/core"
+	"fomodel/internal/stats"
+	"fomodel/internal/uarch"
+)
+
+// SweepPoint is one (parameter value, benchmark) sample of a machine
+// sweep.
+type SweepPoint struct {
+	Bench    string
+	Value    int
+	SimCPI   float64
+	ModelCPI float64
+	Err      float64
+}
+
+// SweepResult is a machine-parameter sweep validating the model across a
+// dimension the paper varies analytically.
+type SweepResult struct {
+	Title      string
+	Param      string
+	Points     []SweepPoint
+	MeanAbsErr float64
+}
+
+// tab builds the result table.
+func (r *SweepResult) tab() *table {
+	t := &table{
+		title:  r.Title,
+		header: []string{"bench", r.Param, "model CPI", "sim CPI", "err"},
+	}
+	for _, p := range r.Points {
+		t.addRow(p.Bench, fmt.Sprintf("%d", p.Value), f3(p.ModelCPI), f3(p.SimCPI), pct(p.Err))
+	}
+	t.addNote("mean |err| %s", pct(r.MeanAbsErr))
+	return t
+}
+
+// Render prints the table as aligned text.
+func (r *SweepResult) Render() string { return r.tab().String() }
+
+// CSV renders the table as comma-separated values.
+func (r *SweepResult) CSV() string { return r.tab().CSV() }
+
+func (r *SweepResult) finish() {
+	for _, p := range r.Points {
+		r.MeanAbsErr += abs(p.Err)
+	}
+	if len(r.Points) > 0 {
+		r.MeanAbsErr /= float64(len(r.Points))
+	}
+}
+
+// WindowSweep validates the steady-state model through the knee of the IW
+// curve: as the window shrinks below saturation, the power law (not the
+// width clip) sets the background IPC. Three benchmarks spanning the beta
+// range, windows 8–96.
+func WindowSweep(s *Suite) (*SweepResult, error) {
+	res := &SweepResult{
+		Title: "Window sweep: steady state through the IW-curve knee",
+		Param: "window",
+	}
+	for _, bench := range []string{"gzip", "vortex", "vpr"} {
+		w, err := s.Workload(bench)
+		if err != nil {
+			return nil, err
+		}
+		for _, win := range []int{8, 16, 32, 48, 96} {
+			sim, err := s.Simulate(w, func(c *uarch.Config) {
+				c.WindowSize = win
+				if c.ROBSize < win {
+					c.ROBSize = win
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			m := s.Machine
+			m.WindowSize = win
+			if m.ROBSize < win {
+				m.ROBSize = win
+			}
+			// Re-derive the measured steady point at this window size.
+			in, err := core.InputsFromCurve(w.Law, w.Points, win, w.Summary)
+			if err != nil {
+				return nil, err
+			}
+			est, err := m.Estimate(in, modelOptions())
+			if err != nil {
+				return nil, err
+			}
+			pt := SweepPoint{
+				Bench:    bench,
+				Value:    win,
+				SimCPI:   sim.CPI(),
+				ModelCPI: est.CPI,
+				Err:      relErr(est.CPI, sim.CPI()),
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	res.finish()
+	return res, nil
+}
+
+// ROBSweep validates the data-miss overlap model across reorder-buffer
+// sizes: a larger ROB overlaps more long misses, so f_LDM — and with it
+// the d-miss CPI — must be re-derived per size. The d-miss-heavy
+// benchmarks are the sensitive ones.
+func ROBSweep(s *Suite) (*SweepResult, error) {
+	res := &SweepResult{
+		Title: "ROB sweep: equation (8) overlap across reorder-buffer sizes",
+		Param: "rob",
+	}
+	for _, bench := range []string{"mcf", "twolf", "gap"} {
+		w, err := s.Workload(bench)
+		if err != nil {
+			return nil, err
+		}
+		for _, rob := range []int{48, 96, 128, 256} {
+			sim, err := s.Simulate(w, func(c *uarch.Config) { c.ROBSize = rob })
+			if err != nil {
+				return nil, err
+			}
+			// Re-analyze with the new grouping horizon.
+			scfg := stats.DefaultConfig()
+			scfg.Hierarchy = s.Sim.Hierarchy
+			scfg.PredictorBits = s.Sim.PredictorBits
+			scfg.Latencies = s.Sim.Latencies
+			scfg.ROBSize = rob
+			scfg.Warmup = s.Sim.Warmup
+			sum, err := stats.Analyze(w.Trace, scfg)
+			if err != nil {
+				return nil, err
+			}
+			m := s.Machine
+			m.ROBSize = rob
+			in, err := core.InputsFromCurve(w.Law, w.Points, m.WindowSize, sum)
+			if err != nil {
+				return nil, err
+			}
+			est, err := m.Estimate(in, modelOptions())
+			if err != nil {
+				return nil, err
+			}
+			pt := SweepPoint{
+				Bench:    bench,
+				Value:    rob,
+				SimCPI:   sim.CPI(),
+				ModelCPI: est.CPI,
+				Err:      relErr(est.CPI, sim.CPI()),
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	res.finish()
+	return res, nil
+}

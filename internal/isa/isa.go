@@ -1,0 +1,101 @@
+// Package isa defines the minimal RISC-like instruction set abstraction the
+// simulators and the first-order model operate on. The paper's model only
+// depends on a handful of instruction properties — operation class (for
+// latency), register dependences, memory address (for loads/stores), and
+// branch outcome — so that is exactly what the ISA captures.
+package isa
+
+import "fmt"
+
+// Class is the operation class of an instruction. Classes determine
+// execution latency and which structural resources an instruction touches.
+type Class uint8
+
+const (
+	// ALU is a single-cycle integer operation.
+	ALU Class = iota
+	// Mul is an integer multiply.
+	Mul
+	// Div is an integer divide.
+	Div
+	// FPU is a floating-point operation.
+	FPU
+	// Load reads memory through the data cache.
+	Load
+	// Store writes memory through the data cache. Stores commit at retire
+	// and do not stall issue in the modeled machine.
+	Store
+	// Branch is a conditional branch; its prediction gates the front end.
+	Branch
+	// NumClasses is the number of operation classes.
+	NumClasses = iota
+)
+
+// String returns the conventional mnemonic for the class.
+func (c Class) String() string {
+	switch c {
+	case ALU:
+		return "alu"
+	case Mul:
+		return "mul"
+	case Div:
+		return "div"
+	case FPU:
+		return "fpu"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Branch:
+		return "branch"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Valid reports whether c is one of the defined operation classes.
+func (c Class) Valid() bool { return c < NumClasses }
+
+// NumArchRegs is the size of the architectural register namespace. The
+// dependence generator maps logical producer–consumer distances onto this
+// namespace; 64 registers keeps false dependences negligible while staying
+// realistic for a RISC ISA.
+const NumArchRegs = 64
+
+// RegNone marks an absent register operand.
+const RegNone int16 = -1
+
+// LatencyTable maps each operation class to its execution latency in
+// cycles. Latencies model fully pipelined functional units: a new operation
+// of any class can start every cycle (the paper assumes an unbounded number
+// of functional units of each type).
+type LatencyTable [NumClasses]int
+
+// DefaultLatencies mirrors the latency assumptions of the paper's baseline
+// machine: single-cycle integer ops and branches, longer multiplies,
+// divides, and floating point. Load latency here is the cache *hit* latency;
+// miss latencies come from the memory hierarchy.
+func DefaultLatencies() LatencyTable {
+	var t LatencyTable
+	t[ALU] = 1
+	t[Mul] = 3
+	t[Div] = 12
+	t[FPU] = 4
+	t[Load] = 1
+	t[Store] = 1
+	t[Branch] = 1
+	return t
+}
+
+// Validate reports an error if any latency is non-positive.
+func (t LatencyTable) Validate() error {
+	for c := Class(0); c < NumClasses; c++ {
+		if t[c] <= 0 {
+			return fmt.Errorf("isa: class %v has non-positive latency %d", c, t[c])
+		}
+	}
+	return nil
+}
+
+// Latency returns the execution latency for class c.
+func (t LatencyTable) Latency(c Class) int { return t[c] }

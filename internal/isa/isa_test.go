@@ -1,0 +1,57 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassStrings(t *testing.T) {
+	want := map[Class]string{
+		ALU: "alu", Mul: "mul", Div: "div", FPU: "fpu",
+		Load: "load", Store: "store", Branch: "branch",
+	}
+	for c, s := range want {
+		if got := c.String(); got != s {
+			t.Errorf("%d.String() = %q, want %q", c, got, s)
+		}
+	}
+	if got := Class(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown class string %q", got)
+	}
+}
+
+func TestClassValid(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if !c.Valid() {
+			t.Errorf("class %v should be valid", c)
+		}
+	}
+	if Class(NumClasses).Valid() {
+		t.Error("out-of-range class reported valid")
+	}
+}
+
+func TestDefaultLatencies(t *testing.T) {
+	lat := DefaultLatencies()
+	if err := lat.Validate(); err != nil {
+		t.Fatalf("default latencies invalid: %v", err)
+	}
+	if lat.Latency(ALU) != 1 {
+		t.Errorf("ALU latency %d, want 1", lat.Latency(ALU))
+	}
+	if lat.Latency(Div) <= lat.Latency(Mul) {
+		t.Errorf("divide (%d) should be slower than multiply (%d)", lat.Latency(Div), lat.Latency(Mul))
+	}
+}
+
+func TestLatencyValidateRejectsNonPositive(t *testing.T) {
+	lat := DefaultLatencies()
+	lat[Mul] = 0
+	if err := lat.Validate(); err == nil {
+		t.Fatal("zero latency passed validation")
+	}
+	lat[Mul] = -3
+	if err := lat.Validate(); err == nil {
+		t.Fatal("negative latency passed validation")
+	}
+}

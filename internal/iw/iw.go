@@ -1,0 +1,155 @@
+// Package iw extracts the IW characteristic — the relationship between
+// issue-window size W and average issue rate I — from an instruction trace,
+// and fits it to the paper's power law I = alpha * W^beta.
+//
+// Following §3 of the paper, the characteristic is measured with an
+// idealized trace-driven simulation: no miss-events, an unbounded number of
+// functional units, unbounded issue and dispatch width, and unit latencies;
+// the only limited resource is the issue window. The resulting curve is
+// implementation independent — it reflects only the register dependence
+// structure of the benchmark. Non-unit latencies are handled afterwards via
+// Little's law (I_L = I_1/L), and a finite machine issue width clips the
+// curve at saturation (Fig. 6 / Jouppi's observation).
+package iw
+
+import (
+	"fmt"
+
+	"fomodel/internal/isa"
+	"fomodel/internal/trace"
+)
+
+// Point is one measured point of the IW characteristic.
+type Point struct {
+	// W is the issue window size in entries.
+	W int
+	// I is the measured average issue rate (useful instructions per cycle).
+	I float64
+}
+
+// Options control the idealized simulation.
+type Options struct {
+	// Latencies, when non-nil, replaces unit latencies with the given
+	// table. The paper's Table 1 parameters use unit latencies and fold
+	// real latencies in through Little's law; the table is exposed for
+	// ablation.
+	Latencies *isa.LatencyTable
+	// IssueWidth, when positive, caps instructions issued per cycle
+	// (oldest first). Zero means unbounded (the paper's ideal case).
+	IssueWidth int
+}
+
+// DefaultWindows is the window-size sweep of the paper's Fig. 4:
+// log2(W) from 1 to 6.
+func DefaultWindows() []int { return []int{2, 4, 8, 16, 32, 64} }
+
+// Characteristic measures the IW curve of t at each window size.
+func Characteristic(t *trace.Trace, windows []int, opts Options) ([]Point, error) {
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("iw: empty trace %q", t.Name)
+	}
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("iw: no window sizes given")
+	}
+	points := make([]Point, 0, len(windows))
+	for _, w := range windows {
+		if w <= 0 {
+			return nil, fmt.Errorf("iw: window size %d must be positive", w)
+		}
+		ipc, err := simulate(t, w, opts)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, Point{W: w, I: ipc})
+	}
+	return points, nil
+}
+
+// simulate runs the idealized window-limited simulation and returns the
+// average issue rate.
+func simulate(t *trace.Trace, window int, opts Options) (float64, error) {
+	unit := isa.LatencyTable{}
+	for c := range unit {
+		unit[c] = 1
+	}
+	lat := unit
+	if opts.Latencies != nil {
+		lat = *opts.Latencies
+		if err := lat.Validate(); err != nil {
+			return 0, err
+		}
+	}
+
+	n := t.Len()
+	// finish[j] is the cycle instruction j's result is available; 0 means
+	// not yet issued (cycle numbering starts at 1 to keep 0 free).
+	finish := make([]int64, n)
+	// lastWriter[r] is the index of the last instruction writing r, in
+	// program order up to the fill frontier.
+	var lastWriter [isa.NumArchRegs]int
+	for i := range lastWriter {
+		lastWriter[i] = -1
+	}
+
+	type slot struct {
+		idx        int
+		src1, src2 int // producer indices, -1 if none/ready
+	}
+	win := make([]slot, 0, window)
+	next := 0 // fill frontier
+	issued := 0
+	var now int64 = 1
+
+	fill := func() {
+		for len(win) < window && next < n {
+			in := &t.Instrs[next]
+			s := slot{idx: next, src1: -1, src2: -1}
+			if in.Src1 >= 0 {
+				s.src1 = lastWriter[in.Src1]
+			}
+			if in.Src2 >= 0 {
+				s.src2 = lastWriter[in.Src2]
+			}
+			if in.Dest >= 0 {
+				lastWriter[in.Dest] = next
+			}
+			win = append(win, s)
+			next++
+		}
+	}
+
+	ready := func(s slot) bool {
+		if s.src1 >= 0 && (finish[s.src1] == 0 || finish[s.src1] > now) {
+			return false
+		}
+		if s.src2 >= 0 && (finish[s.src2] == 0 || finish[s.src2] > now) {
+			return false
+		}
+		return true
+	}
+
+	fill()
+	for issued < n {
+		// Issue every ready instruction this cycle (oldest first), up to
+		// the optional width cap.
+		kept := win[:0]
+		issuedThisCycle := 0
+		for _, s := range win {
+			if (opts.IssueWidth <= 0 || issuedThisCycle < opts.IssueWidth) && ready(s) {
+				finish[s.idx] = now + int64(lat.Latency(t.Instrs[s.idx].Class))
+				issuedThisCycle++
+				issued++
+				continue
+			}
+			kept = append(kept, s)
+		}
+		win = kept
+		fill()
+		now++
+	}
+	cycles := now - 1
+	if cycles <= 0 {
+		return 0, fmt.Errorf("iw: degenerate simulation of %q", t.Name)
+	}
+	return float64(n) / float64(cycles), nil
+}

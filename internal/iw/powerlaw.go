@@ -1,0 +1,86 @@
+package iw
+
+import (
+	"fmt"
+	"math"
+
+	"fomodel/internal/fit"
+)
+
+// PowerLaw is the fitted IW characteristic I = Alpha * W^Beta (Table 1 of
+// the paper), together with the goodness of fit of the underlying log-log
+// regression.
+type PowerLaw struct {
+	Alpha float64
+	Beta  float64
+	R2    float64
+}
+
+// Fit fits points to the power law by least squares in log2-log2 space,
+// exactly as the paper fits its Fig. 5 lines.
+func Fit(points []Point) (PowerLaw, error) {
+	if len(points) < 2 {
+		return PowerLaw{}, fmt.Errorf("iw: need at least 2 points to fit, have %d", len(points))
+	}
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, p := range points {
+		if p.W <= 0 || p.I <= 0 {
+			return PowerLaw{}, fmt.Errorf("iw: non-positive point (W=%d, I=%v)", p.W, p.I)
+		}
+		xs[i] = math.Log2(float64(p.W))
+		ys[i] = math.Log2(p.I)
+	}
+	line, err := fit.Linear(xs, ys)
+	if err != nil {
+		return PowerLaw{}, err
+	}
+	return PowerLaw{
+		Alpha: math.Exp2(line.Intercept),
+		Beta:  line.Slope,
+		R2:    line.R2,
+	}, nil
+}
+
+// Eval returns the unit-latency issue rate predicted at window size w.
+func (p PowerLaw) Eval(w float64) float64 {
+	if w <= 0 {
+		return 0
+	}
+	return p.Alpha * math.Pow(w, p.Beta)
+}
+
+// InterpolateAt returns the measured issue rate at window size w by
+// log-log interpolation between the nearest measured points (the measured
+// curve itself rather than the global power-law fit — the two differ for
+// workloads whose curve is visibly concave, like the paper's vpr). Outside
+// the measured range, the nearest point's local slope extrapolates.
+func InterpolateAt(points []Point, w float64) (float64, error) {
+	if len(points) < 2 {
+		return 0, fmt.Errorf("iw: need at least 2 points to interpolate, have %d", len(points))
+	}
+	if w <= 0 {
+		return 0, fmt.Errorf("iw: window %v must be positive", w)
+	}
+	lo, hi := points[0], points[1]
+	for k := 1; k < len(points); k++ {
+		if float64(points[k].W) >= w || k == len(points)-1 {
+			lo, hi = points[k-1], points[k]
+			break
+		}
+	}
+	if lo.W <= 0 || hi.W <= 0 || lo.I <= 0 || hi.I <= 0 || lo.W == hi.W {
+		return 0, fmt.Errorf("iw: degenerate interpolation points (W=%d,%d)", lo.W, hi.W)
+	}
+	slope := (math.Log2(hi.I) - math.Log2(lo.I)) / (math.Log2(float64(hi.W)) - math.Log2(float64(lo.W)))
+	return math.Exp2(math.Log2(lo.I) + slope*(math.Log2(w)-math.Log2(float64(lo.W)))), nil
+}
+
+// Window returns the window size at which the unit-latency curve reaches
+// issue rate i (the inverse of Eval). A non-positive rate yields 0.
+func (p PowerLaw) Window(i float64) float64 {
+	if i <= 0 || p.Alpha <= 0 || p.Beta == 0 {
+		return 0
+	}
+	return math.Pow(i/p.Alpha, 1/p.Beta)
+}

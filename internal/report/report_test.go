@@ -1,0 +1,57 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fomodel/internal/experiments"
+)
+
+func TestGenerateAndWrite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report is slow")
+	}
+	// The report needs all twelve benchmarks (fig16 checks mcf/twolf
+	// shares); a short trace keeps this test manageable.
+	s := experiments.NewSuite(60000, 1)
+	r, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total < 12 {
+		t.Fatalf("only %d checks", r.Total)
+	}
+	// At this trace length a couple of noisy checks may miss their
+	// tolerance, but the battery must be broadly green.
+	if r.Passed < r.Total-3 {
+		for _, c := range r.Checks {
+			if !c.Pass {
+				t.Logf("CHECK %s: %s (measured %s)", c.ID, c.Claim, c.Measured)
+			}
+		}
+		t.Fatalf("%d/%d checks passed", r.Passed, r.Total)
+	}
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# Reproduction report", "| fig15 |", "## fig8", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	if len(r.Sections) != r.Total {
+		t.Fatalf("%d sections for %d checks", len(r.Sections), r.Total)
+	}
+}
+
+func TestWithin(t *testing.T) {
+	if !within(5, 4, 6) || within(7, 4, 6) || within(3, 4, 6) {
+		t.Fatal("within broken")
+	}
+	if abs(-2) != 2 || abs(2) != 2 {
+		t.Fatal("abs broken")
+	}
+}

@@ -1,0 +1,182 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator and the sampling distributions used by the synthetic workload
+// generators. Everything in this repository that involves randomness is
+// seeded through this package, so traces, simulations and experiments are
+// fully reproducible.
+//
+// The generator is PCG-XSH-RR 64/32 (O'Neill, 2014): a 64-bit LCG state with
+// a permuted 32-bit output. It is fast, has a tiny state, and passes the
+// statistical batteries that matter for workload synthesis.
+package rng
+
+import "math"
+
+// Multiplier and default increment of the underlying 64-bit LCG.
+const (
+	pcgMult       = 6364136223846793005
+	pcgDefaultInc = 1442695040888963407
+)
+
+// PCG is a deterministic 32-bit-output pseudo-random number generator.
+// The zero value is NOT usable; construct with New.
+type PCG struct {
+	state uint64
+	inc   uint64 // always odd
+}
+
+// New returns a PCG seeded with seed on the default stream.
+func New(seed uint64) *PCG {
+	return NewStream(seed, pcgDefaultInc>>1)
+}
+
+// NewStream returns a PCG seeded with seed on the given stream. Distinct
+// streams yield statistically independent sequences even for equal seeds,
+// which lets one workload draw dependences, addresses, and branch outcomes
+// from uncorrelated sources.
+func NewStream(seed, stream uint64) *PCG {
+	p := &PCG{inc: stream<<1 | 1}
+	p.state = 0
+	p.Uint32()
+	p.state += seed
+	p.Uint32()
+	return p
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (p *PCG) Uint32() uint32 {
+	old := p.state
+	p.state = old*pcgMult + p.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return xorshifted>>rot | xorshifted<<((-rot)&31)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (p *PCG) Uint64() uint64 {
+	hi := uint64(p.Uint32())
+	lo := uint64(p.Uint32())
+	return hi<<32 | lo
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0; that is a
+// programming error, not an input error.
+func (p *PCG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	bound := uint32(n)
+	for {
+		v := p.Uint32()
+		prod := uint64(v) * uint64(bound)
+		low := uint32(prod)
+		if low >= bound {
+			return int(prod >> 32)
+		}
+		// Rejection zone: retry if below the threshold that would bias.
+		threshold := -bound % bound
+		if low >= threshold {
+			return int(prod >> 32)
+		}
+	}
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (p *PCG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
+	max := uint64(n)
+	// Simple rejection against the largest multiple of n below 2^63.
+	limit := (1 << 63) / max * max
+	for {
+		v := p.Uint64() >> 1
+		if v < limit {
+			return int64(v % max)
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (p *PCG) Float64() float64 {
+	return float64(p.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability prob.
+func (p *PCG) Bool(prob float64) bool {
+	return p.Float64() < prob
+}
+
+// Geometric samples from a geometric distribution with the given mean >= 1:
+// the number of Bernoulli(1/mean) trials up to and including the first
+// success. The returned value is always >= 1.
+func (p *PCG) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	// Inverse-CDF sampling: ceil(ln(1-u)/ln(1-p)) with p = 1/mean.
+	u := p.Float64()
+	q := math.Log1p(-u) / math.Log1p(-1/mean)
+	n := int(math.Ceil(q))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Pareto samples a bounded discrete Pareto (power-law) value in [1, max]
+// with tail exponent alpha > 0. Small alpha → heavier tail.
+func (p *PCG) Pareto(alpha float64, max int) int {
+	if max <= 1 {
+		return 1
+	}
+	// Inverse transform on the continuous Pareto, clamped.
+	u := p.Float64()
+	x := math.Pow(1-u, -1/alpha)
+	n := int(x)
+	if n < 1 {
+		n = 1
+	}
+	if n > max {
+		n = max
+	}
+	return n
+}
+
+// Normal samples from a normal distribution via the Box–Muller transform.
+func (p *PCG) Normal(mean, stddev float64) float64 {
+	u1 := p.Float64()
+	u2 := p.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Weighted selects an index in [0, len(weights)) with probability
+// proportional to weights[i]. Zero or negative weights are treated as zero.
+// If all weights are zero it returns 0.
+func (p *PCG) Weighted(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	target := p.Float64() * total
+	var acc float64
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

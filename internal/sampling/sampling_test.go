@@ -1,0 +1,112 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"fomodel/internal/trace"
+	"fomodel/internal/uarch"
+	"fomodel/internal/workload"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if err := (Config{WindowLen: 0, Period: 10}).Validate(); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if err := (Config{WindowLen: 100, Period: 50}).Validate(); err == nil {
+		t.Fatal("period below window accepted")
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	cfg := uarch.DefaultConfig()
+	if _, err := Estimate(&trace.Trace{Name: "empty"}, cfg, DefaultConfig()); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	tr, err := workload.Generate("gzip", 5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Width = 0
+	if _, err := Estimate(tr, bad, DefaultConfig()); err == nil {
+		t.Fatal("invalid machine accepted")
+	}
+	if _, err := Estimate(tr, cfg, Config{WindowLen: 10, Period: 5}); err == nil {
+		t.Fatal("invalid sampling config accepted")
+	}
+}
+
+func TestFullSamplingMatchesReference(t *testing.T) {
+	// Period == WindowLen times every instruction; the only differences
+	// from the reference run are the per-window pipeline restarts.
+	tr, err := workload.Generate("gzip", 60000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := uarch.DefaultConfig()
+	ref, err := uarch.Simulate(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Estimate(tr, cfg, Config{WindowLen: 60010, Period: 60010})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Windows != 1 || full.SampledInstructions != tr.Len() {
+		t.Fatalf("full sampling: %d windows, %d instrs", full.Windows, full.SampledInstructions)
+	}
+	if e := math.Abs(full.CPI-ref.CPI()) / ref.CPI(); e > 0.01 {
+		t.Fatalf("single-window CPI %v vs reference %v (err %v)", full.CPI, ref.CPI(), e)
+	}
+}
+
+func TestPeriodicSamplingAccuracy(t *testing.T) {
+	// Use several windows spread across the trace: a single head window
+	// would over-weight the cold-start region (the warm working set's
+	// compulsory misses concentrate there).
+	tr, err := workload.Generate("bzip", 150000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := uarch.DefaultConfig()
+	ref, err := uarch.Simulate(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Estimate(tr, cfg, Config{WindowLen: 3000, Period: 15000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := r.SampledFraction(); frac > 0.25 {
+		t.Fatalf("sampled fraction %v, want ~0.2", frac)
+	}
+	if r.Windows < 8 {
+		t.Fatalf("only %d windows sampled", r.Windows)
+	}
+	if e := math.Abs(r.CPI-ref.CPI()) / ref.CPI(); e > 0.20 {
+		t.Fatalf("sampled CPI %v vs reference %v (err %v)", r.CPI, ref.CPI(), e)
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	tr, err := workload.Generate("gzip", 30000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := uarch.DefaultConfig()
+	a, err := Estimate(tr, cfg, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Estimate(tr, cfg, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CPI != b.CPI || a.Windows != b.Windows {
+		t.Fatal("sampling not deterministic")
+	}
+}

@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hardens the binary trace decoder against arbitrary input: it
+// must either return an error or a trace that passes validation — never
+// panic or return garbage.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid encoding and a few mutations.
+	var buf bytes.Buffer
+	if err := Write(&buf, validTrace()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte("FOT1"))
+	f.Add([]byte{})
+	truncatedCount := append([]byte(nil), valid...)
+	truncatedCount[7] = 0xff // corrupt the name length
+	f.Add(truncatedCount)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Read returned an invalid trace: %v", err)
+		}
+		// A decoded trace must re-encode and decode to itself.
+		var out bytes.Buffer
+		if err := Write(&out, tr); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		tr2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if tr2.Len() != tr.Len() || tr2.Name != tr.Name {
+			t.Fatal("round trip changed the trace")
+		}
+	})
+}

@@ -1,0 +1,237 @@
+package uarch
+
+import (
+	"math"
+	"testing"
+
+	"fomodel/internal/cache"
+	"fomodel/internal/isa"
+	"fomodel/internal/trace"
+)
+
+func TestFULimitThrottlesClass(t *testing.T) {
+	// A stream of independent multiplies: unbounded units sustain
+	// width/cycle; a single pipelined multiplier sustains 1/cycle.
+	tr := &trace.Trace{Name: "mul"}
+	for i := 0; i < 8000; i++ {
+		tr.Instrs = append(tr.Instrs, trace.Instruction{
+			PC: hotPC, Class: isa.Mul,
+			Dest: int16(i % isa.NumArchRegs), Src1: isa.RegNone, Src2: isa.RegNone,
+		})
+	}
+	cfg := testConfig()
+	free := mustSim(t, tr, cfg)
+	if math.Abs(free.IPC()-4) > 0.1 {
+		t.Fatalf("unbounded mul IPC %v, want ~4", free.IPC())
+	}
+	cfg.FUCounts[isa.Mul] = 1
+	limited := mustSim(t, tr, cfg)
+	if math.Abs(limited.IPC()-1) > 0.05 {
+		t.Fatalf("single-multiplier IPC %v, want ~1", limited.IPC())
+	}
+}
+
+func TestFULimitDoesNotBlockOtherClasses(t *testing.T) {
+	// Alternating mul/alu with a single multiplier: ALUs flow around the
+	// limited class, so throughput stays near 2 (one of each per cycle).
+	tr := &trace.Trace{Name: "mix"}
+	for i := 0; i < 8000; i++ {
+		c := isa.ALU
+		if i%2 == 0 {
+			c = isa.Mul
+		}
+		tr.Instrs = append(tr.Instrs, trace.Instruction{
+			PC: hotPC, Class: c,
+			Dest: int16(i % isa.NumArchRegs), Src1: isa.RegNone, Src2: isa.RegNone,
+		})
+	}
+	cfg := testConfig()
+	cfg.FUCounts[isa.Mul] = 1
+	r := mustSim(t, tr, cfg)
+	if r.IPC() < 1.8 {
+		t.Fatalf("mixed IPC %v, want ~2 (ALUs must bypass the mul limit)", r.IPC())
+	}
+}
+
+func TestFetchBufferHidesIsolatedICacheMisses(t *testing.T) {
+	// Two parallel dependence chains give ~2 IPC at width 4, so fetch
+	// has 2 instructions/cycle of slack to run ahead. An isolated
+	// L2-missing code line every 1024 instructions (200-cycle delay)
+	// overwhelms the base pipeline-plus-window coverage (~15 cycles of
+	// consumption), but a 256-entry fetch buffer covers an extra
+	// 256/2 = 128 cycles of it.
+	mk := func() *trace.Trace {
+		tr := &trace.Trace{Name: "buf"}
+		coldLine := uint64(0x800_0000)
+		for i := 0; i < 20000; i++ {
+			pc := uint64(hotPC)
+			if i%1024 == 512 {
+				pc = coldLine
+				coldLine += 128
+			}
+			in := trace.Instruction{
+				PC: pc, Class: isa.ALU,
+				Dest: int16(i % isa.NumArchRegs), Src1: isa.RegNone, Src2: isa.RegNone,
+			}
+			if i >= 2 {
+				in.Src1 = int16((i - 2) % isa.NumArchRegs)
+			}
+			tr.Instrs = append(tr.Instrs, in)
+		}
+		return tr
+	}
+	cfg := testConfig()
+	cfg.IdealICache = false
+	cfg.Warmup = false
+	without := mustSim(t, mk(), cfg)
+	if without.ICacheLong == 0 {
+		t.Fatal("expected long I-cache misses")
+	}
+	cfg.FetchBufferSize = 256
+	with := mustSim(t, mk(), cfg)
+	saved := without.Cycles - with.Cycles
+	perMiss := float64(saved) / float64(without.ICacheLong)
+	// The buffer should hide on the order of buffer/IPC = 128 cycles of
+	// each 200-cycle miss.
+	if perMiss < 60 {
+		t.Fatalf("fetch buffer hid only %.1f cycles per miss (total %d vs %d)",
+			perMiss, with.Cycles, without.Cycles)
+	}
+}
+
+func TestTLBMissExtendsLatencyAndCounts(t *testing.T) {
+	// Loads striding across pages: every page touch misses a tiny TLB.
+	mk := func() *trace.Trace {
+		tr := &trace.Trace{Name: "tlb"}
+		for i := 0; i < 3000; i++ {
+			in := aluInstr(i)
+			if i%10 == 5 {
+				in.Class = isa.Load
+				in.Addr = 0x1000_0000 + uint64(i)*4096
+			}
+			tr.Instrs = append(tr.Instrs, in)
+		}
+		return tr
+	}
+	cfg := testConfig()
+	base := mustSim(t, mk(), cfg)
+	tlb := cache.TLBConfig{Entries: 4, PageBytes: 4096, MissLatency: 50}
+	cfg.TLB = &tlb
+	r := mustSim(t, mk(), cfg)
+	if r.TLBMisses == 0 {
+		t.Fatal("no TLB misses observed")
+	}
+	if r.Cycles <= base.Cycles {
+		t.Fatal("TLB misses did not cost cycles")
+	}
+	perMiss := float64(r.Cycles-base.Cycles) / float64(r.TLBMisses)
+	// Strided misses within the ROB overlap heavily, so the per-miss
+	// cost sits well below the walk latency but stays positive.
+	if perMiss <= 0 || perMiss > 60 {
+		t.Fatalf("per-miss TLB cost %v, want (0, 60]", perMiss)
+	}
+}
+
+func TestTLBHitsAreFree(t *testing.T) {
+	// All loads in one page: one compulsory miss, everything else hits.
+	mk := func() *trace.Trace {
+		tr := &trace.Trace{Name: "tlbhot"}
+		for i := 0; i < 2000; i++ {
+			in := aluInstr(i)
+			if i%10 == 5 {
+				in.Class = isa.Load
+				in.Addr = 0x1000_0000 + uint64(i%512)
+			}
+			tr.Instrs = append(tr.Instrs, in)
+		}
+		return tr
+	}
+	cfg := testConfig()
+	tlb := cache.DefaultTLB()
+	cfg.TLB = &tlb
+	r := mustSim(t, mk(), cfg)
+	if r.TLBMisses != 1 {
+		t.Fatalf("TLB misses %d, want 1 (compulsory only)", r.TLBMisses)
+	}
+}
+
+func TestExtensionConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FUCounts[isa.Mul] = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative FU count accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.FetchBufferSize = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative fetch buffer accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.TLB = &cache.TLBConfig{}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("invalid TLB accepted")
+	}
+}
+
+func TestFrontEndOccupancyDiagnostic(t *testing.T) {
+	r := mustSim(t, chain(3000), testConfig())
+	occ := r.AvgFrontEndOccupancy()
+	cfg := testConfig()
+	max := float64(cfg.FrontEndDepth * cfg.Width)
+	if occ <= 0 || occ > max {
+		t.Fatalf("front-end occupancy %v outside (0, %v]", occ, max)
+	}
+}
+
+func TestClusteringCostsBypass(t *testing.T) {
+	// A dependence chain pays the bypass on (K-1)/K of its edges under
+	// round-robin steering: at K=2 with a 1-cycle bypass every edge
+	// crosses (consecutive indices alternate clusters), so the chain
+	// runs at 1 instruction per 2 cycles.
+	tr := chain(4000)
+	cfg := testConfig()
+	base := mustSim(t, tr, cfg)
+	cfg.Clusters = 2
+	cfg.BypassLatency = 1
+	clustered := mustSim(t, tr, cfg)
+	if math.Abs(base.IPC()-1) > 0.05 {
+		t.Fatalf("unified chain IPC %v", base.IPC())
+	}
+	if math.Abs(clustered.IPC()-0.5) > 0.05 {
+		t.Fatalf("2-cluster chain IPC %v, want ~0.5 (every edge crosses)", clustered.IPC())
+	}
+}
+
+func TestClusteringIndependentStreamUnaffected(t *testing.T) {
+	// Independent instructions don't care about bypass; per-cluster
+	// issue width sums to the machine width, so throughput holds.
+	tr := independent(8000)
+	cfg := testConfig()
+	cfg.Clusters = 4
+	cfg.BypassLatency = 2
+	r := mustSim(t, tr, cfg)
+	if math.Abs(r.IPC()-4) > 0.1 {
+		t.Fatalf("clustered independent IPC %v, want ~4", r.IPC())
+	}
+}
+
+func TestClusteringValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clusters = 3 // width 4 not divisible
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("indivisible width accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Clusters = 2
+	cfg.WindowSize = 49
+	cfg.ROBSize = 128
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("indivisible window accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Clusters = 2
+	cfg.BypassLatency = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative bypass accepted")
+	}
+}

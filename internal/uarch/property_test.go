@@ -1,0 +1,179 @@
+package uarch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fomodel/internal/isa"
+	"fomodel/internal/rng"
+	"fomodel/internal/trace"
+)
+
+// randomTrace builds a structurally valid random trace: arbitrary classes,
+// dependences on recent round-robin producers, addresses and PCs spread
+// over a few regions, and branch outcomes drawn at random.
+func randomTrace(seed uint64, n int) *trace.Trace {
+	r := rng.New(seed)
+	t := &trace.Trace{Name: "prop"}
+	var producers [isa.NumArchRegs]bool
+	nextDest := int16(0)
+	pc := uint64(0x40_0000)
+	for i := 0; i < n; i++ {
+		c := isa.Class(r.Intn(int(isa.NumClasses)))
+		in := trace.Instruction{PC: pc, Class: c, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}
+		pick := func() int16 {
+			reg := int16(r.Intn(isa.NumArchRegs))
+			if producers[reg] {
+				return reg
+			}
+			return isa.RegNone
+		}
+		if r.Bool(0.7) {
+			in.Src1 = pick()
+		}
+		if r.Bool(0.3) {
+			in.Src2 = pick()
+		}
+		switch c {
+		case isa.Branch:
+			in.Taken = r.Bool(0.5)
+			if in.Taken {
+				pc = 0x40_0000 + uint64(r.Intn(1<<14))*4
+			} else {
+				pc += 4
+			}
+		case isa.Load, isa.Store:
+			in.Addr = uint64(r.Intn(1 << 22))
+			pc += 4
+		default:
+			pc += 4
+		}
+		if c != isa.Store && c != isa.Branch {
+			in.Dest = nextDest
+			producers[nextDest] = true
+			nextDest = (nextDest + 1) % isa.NumArchRegs
+		}
+		t.Instrs = append(t.Instrs, in)
+	}
+	return t
+}
+
+func TestPropertySimulatorInvariants(t *testing.T) {
+	f := func(seed uint64, widthSel, depthSel uint8) bool {
+		n := 2000
+		tr := randomTrace(seed, n)
+		if err := tr.Validate(); err != nil {
+			t.Logf("generated invalid trace: %v", err)
+			return false
+		}
+		cfg := DefaultConfig()
+		cfg.Width = []int{1, 2, 4, 8}[widthSel%4]
+		cfg.FrontEndDepth = 1 + int(depthSel%12)
+		r, err := Simulate(tr, cfg)
+		if err != nil {
+			t.Logf("simulate: %v", err)
+			return false
+		}
+		// All instructions retire.
+		if r.Instructions != n {
+			return false
+		}
+		// Cycles at least the width bound and at least the count of any
+		// single-cycle resource.
+		if r.Cycles < int64(n/cfg.Width) {
+			t.Logf("cycles %d below the width bound %d", r.Cycles, n/cfg.Width)
+			return false
+		}
+		// Histogram accounts for every cycle and every instruction.
+		var cycles, instrs int64
+		for k, c := range r.IssueHistogram {
+			if c < 0 {
+				return false
+			}
+			cycles += c
+			instrs += int64(k) * c
+		}
+		if cycles != r.Cycles || instrs != int64(n) {
+			t.Logf("histogram mismatch: %d/%d cycles, %d/%d instrs", cycles, r.Cycles, instrs, n)
+			return false
+		}
+		// Occupancies bounded by capacities.
+		if r.AvgWindowOccupancy() > float64(cfg.WindowSize) ||
+			r.AvgROBOccupancy() > float64(cfg.ROBSize) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyIdealNoSlowerThanReal(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr := randomTrace(seed, 2000)
+		real, err := Simulate(tr, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		cfg := DefaultConfig()
+		cfg.IdealICache, cfg.IdealDCache, cfg.IdealPredictor = true, true, true
+		ideal, err := Simulate(tr, cfg)
+		if err != nil {
+			return false
+		}
+		return ideal.Cycles <= real.Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyWiderNeverSlower(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr := randomTrace(seed, 2000)
+		cfg := DefaultConfig()
+		cfg.IdealICache, cfg.IdealDCache, cfg.IdealPredictor = true, true, true
+		cfg.Width = 2
+		narrow, err := Simulate(tr, cfg)
+		if err != nil {
+			return false
+		}
+		cfg.Width = 4
+		wide, err := Simulate(tr, cfg)
+		if err != nil {
+			return false
+		}
+		return wide.Cycles <= narrow.Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyClassificationInvariantUnderTiming(t *testing.T) {
+	// Machine parameters must not change miss-event counts — the
+	// decoupling invariant.
+	f := func(seed uint64, depthSel uint8) bool {
+		tr := randomTrace(seed, 2000)
+		a, err := Simulate(tr, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		cfg := DefaultConfig()
+		cfg.FrontEndDepth = 1 + int(depthSel%16)
+		cfg.WindowSize = 16
+		cfg.ROBSize = 64
+		b, err := Simulate(tr, cfg)
+		if err != nil {
+			return false
+		}
+		return a.Mispredicts == b.Mispredicts &&
+			a.DCacheLong == b.DCacheLong &&
+			a.DCacheShort == b.DCacheShort &&
+			a.ICacheShort+a.ICacheLong == b.ICacheShort+b.ICacheLong
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

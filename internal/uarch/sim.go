@@ -1,0 +1,394 @@
+package uarch
+
+import (
+	"fmt"
+
+	"fomodel/internal/cache"
+	"fomodel/internal/isa"
+	"fomodel/internal/predictor"
+	"fomodel/internal/stats"
+	"fomodel/internal/trace"
+)
+
+// maxIdleCycles bounds how long the simulator may go without retiring an
+// instruction before it reports a deadlock; generous compared to any legal
+// stall (memory latency + pipeline depth).
+const maxIdleCycles = 1 << 20
+
+// prep holds the precomputed, program-order miss-event classification of
+// one instruction (see the package comment for why classification is
+// decoupled from timing).
+type prep struct {
+	ires    cache.Result
+	dres    cache.Result
+	misp    bool
+	tlbMiss bool
+}
+
+// Simulate runs the detailed cycle-level simulation of t on the machine
+// described by cfg.
+func Simulate(t *trace.Trace, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("uarch: empty trace %q", t.Name)
+	}
+	preps, err := classify(t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return run(t, cfg, preps)
+}
+
+// Event is an externally supplied per-instruction miss-event
+// classification, used by SimulateWithEvents. It replaces the functional
+// cache/predictor pass for callers that synthesize events statistically
+// (statistical simulation, the paper's related work [8-10]).
+type Event struct {
+	// ICache classifies the instruction's fetch.
+	ICache cache.Result
+	// DCache classifies the data access (loads/stores only).
+	DCache cache.Result
+	// Mispredict marks a mispredicted branch (branches only).
+	Mispredict bool
+	// TLBMiss marks a data-TLB miss (loads/stores only; needs cfg.TLB).
+	TLBMiss bool
+}
+
+// SimulateWithEvents runs the timing simulation of t with the given
+// per-instruction miss events instead of deriving them from the cache and
+// predictor models. len(events) must equal t.Len().
+func SimulateWithEvents(t *trace.Trace, events []Event, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("uarch: empty trace %q", t.Name)
+	}
+	if len(events) != t.Len() {
+		return nil, fmt.Errorf("uarch: %d events for %d instructions", len(events), t.Len())
+	}
+	preps := make([]prep, len(events))
+	for i, ev := range events {
+		if ev.TLBMiss && cfg.TLB == nil {
+			return nil, fmt.Errorf("uarch: event %d has a TLB miss but no TLB is configured", i)
+		}
+		preps[i] = prep{ires: ev.ICache, dres: ev.DCache, misp: ev.Mispredict, tlbMiss: ev.TLBMiss}
+	}
+	return run(t, cfg, preps)
+}
+
+// classify performs the functional program-order pass: every instruction's
+// fetch result, data access result, and (for branches) predictor outcome.
+// The access sequence matches stats.Analyze exactly, so miss-event counts
+// agree between the model's inputs and the simulator.
+func classify(t *trace.Trace, cfg Config) ([]prep, error) {
+	h, err := cache.NewHierarchy(cfg.Hierarchy)
+	if err != nil {
+		return nil, err
+	}
+	gs, err := newPredictor(cfg.Predictor, cfg.PredictorBits)
+	if err != nil {
+		return nil, err
+	}
+	var tlb *cache.TLB
+	if cfg.TLB != nil {
+		tlb, err = cache.NewTLB(*cfg.TLB)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Warmup {
+		stats.WarmHierarchy(h, t)
+	}
+	preps := make([]prep, t.Len())
+	for i := range t.Instrs {
+		in := &t.Instrs[i]
+		p := &preps[i]
+		p.ires = h.Fetch(in.PC)
+		switch in.Class {
+		case isa.Branch:
+			p.misp = gs.Predict(in.PC) != in.Taken
+			gs.Update(in.PC, in.Taken)
+		case isa.Load, isa.Store:
+			if tlb != nil {
+				p.tlbMiss = !tlb.Access(in.Addr)
+			}
+			p.dres = h.Data(in.Addr)
+		}
+	}
+	return preps, nil
+}
+
+// winEntry is one issue-window slot: the instruction index and the indices
+// of its producers (-1 when an operand is ready at dispatch).
+type winEntry struct {
+	idx        int32
+	src1, src2 int32
+}
+
+// run executes the timing simulation proper.
+func run(t *trace.Trace, cfg Config, preps []prep) (*Result, error) {
+	n := t.Len()
+	res := &Result{
+		Instructions:   n,
+		IssueHistogram: make([]int64, cfg.Width+1),
+	}
+
+	// finish[i] is the cycle instruction i's result becomes available;
+	// 0 means not yet issued (cycles start at 1).
+	finish := make([]int64, n)
+
+	// Front-end pipeline: instructions [dispatched, fetched) are in
+	// flight; feReady is a ring of their dispatch-ready cycles. An
+	// optional fetch buffer adds capacity beyond the pipeline stages.
+	feCap := cfg.FrontEndDepth*cfg.Width + cfg.FetchBufferSize
+	feReady := make([]int64, feCap)
+
+	window := make([]winEntry, 0, cfg.WindowSize)
+	var lastWriter [isa.NumArchRegs]int32
+	for i := range lastWriter {
+		lastWriter[i] = -1
+	}
+
+	// Clustering (§7 extension #3): instructions steer round-robin to
+	// clusters by dispatch order, so an instruction's cluster is simply
+	// its index mod the cluster count.
+	clusters := cfg.Clusters
+	if clusters < 1 {
+		clusters = 1
+	}
+	clusterWidth := cfg.Width / clusters
+	clusterWindow := cfg.WindowSize / clusters
+	bypass := int64(cfg.BypassLatency)
+	winCount := make([]int, clusters)
+	issuedByCluster := make([]int, clusters)
+
+	var (
+		cycle      int64 = 1
+		fetched    int   // next instruction to fetch
+		dispatched int   // next instruction to dispatch
+		retired    int   // next instruction to retire
+		robCount   int
+
+		// fetchStallUntil blocks fetch for I-cache misses; fetchHalted
+		// blocks it for an in-flight mispredicted branch, cleared when
+		// branchResume (set at the branch's issue) passes.
+		fetchStallUntil int64
+		fetchHalted     bool
+		branchResume    int64
+
+		// outstanding holds the finish cycles of in-flight long data
+		// misses, for overlap accounting and the serialize option.
+		outstanding []int64
+
+		lastRetireCycle int64 = 1
+	)
+
+	latBranch := int64(cfg.Latencies.Latency(isa.Branch))
+
+	for retired < n {
+		// --- Retire (in order, up to Width finished instructions).
+		for k := 0; k < cfg.Width && retired < dispatched; k++ {
+			f := finish[retired]
+			if f == 0 || f > cycle {
+				break
+			}
+			retired++
+			robCount--
+			lastRetireCycle = cycle
+		}
+
+		// Prune completed long misses.
+		live := outstanding[:0]
+		for _, f := range outstanding {
+			if f > cycle {
+				live = append(live, f)
+			}
+		}
+		outstanding = live
+
+		// --- Issue (oldest first, up to Width ready instructions; at
+		// most FUCounts[class] per class where limited, and at most
+		// Width/Clusters per cluster when partitioned).
+		issuedThisCycle := 0
+		var issuedByClass [isa.NumClasses]int
+		for c := range issuedByCluster {
+			issuedByCluster[c] = 0
+		}
+		if len(window) > 0 {
+			kept := window[:0]
+			stalled := false
+			for _, e := range window {
+				class := t.Instrs[e.idx].Class
+				cluster := int(e.idx) % clusters
+				if stalled ||
+					issuedThisCycle >= cfg.Width ||
+					(clusters > 1 && issuedByCluster[cluster] >= clusterWidth) ||
+					(cfg.FUCounts[class] > 0 && issuedByClass[class] >= cfg.FUCounts[class]) ||
+					!isReady(e, finish, cycle, clusters, bypass) {
+					kept = append(kept, e)
+					// In-order issue stalls at the first instruction
+					// that cannot go, whatever the reason.
+					stalled = stalled || cfg.InOrder
+					continue
+				}
+				idx := int(e.idx)
+				in := &t.Instrs[idx]
+				lat := int64(cfg.Latencies.Latency(in.Class))
+				if in.IsMem() && preps[idx].tlbMiss {
+					lat += int64(cfg.TLB.MissLatency)
+					res.TLBMisses++
+				}
+				if in.IsMem() && !cfg.IdealDCache {
+					switch preps[idx].dres {
+					case cache.ShortMiss:
+						lat += int64(cfg.Hierarchy.ShortMissLatency)
+						res.DCacheShort++
+					case cache.LongMiss:
+						if cfg.SerializeLongMisses && len(outstanding) > 0 {
+							// Demoted to a hit for the isolation study.
+							break
+						}
+						lat += int64(cfg.Hierarchy.LongMissLatency)
+						res.DCacheLong++
+						outstanding = append(outstanding, cycle+lat)
+					}
+				}
+				finish[idx] = cycle + lat
+				issuedThisCycle++
+				issuedByClass[class]++
+				issuedByCluster[cluster]++
+				winCount[cluster]--
+				if in.Class == isa.Branch && preps[idx].misp && !cfg.IdealPredictor {
+					res.Mispredicts++
+					if len(outstanding) > 0 {
+						res.MispredictsOverlapped++
+					}
+					branchResume = cycle + latBranch
+				}
+			}
+			window = kept
+		}
+		res.IssueHistogram[issuedThisCycle]++
+		if cfg.RecordIssueTrace && len(res.IssueTrace) < 1<<22 {
+			res.IssueTrace = append(res.IssueTrace, uint8(issuedThisCycle))
+		}
+
+		// --- Dispatch (in order, up to Width; the steered cluster's
+		// window slice, the whole window, and the ROB must have room).
+		for k := 0; k < cfg.Width && dispatched < fetched; k++ {
+			if feReady[dispatched%feCap] > cycle ||
+				len(window) >= cfg.WindowSize || robCount >= cfg.ROBSize ||
+				(clusters > 1 && winCount[dispatched%clusters] >= clusterWindow) {
+				break
+			}
+			in := &t.Instrs[dispatched]
+			e := winEntry{idx: int32(dispatched), src1: -1, src2: -1}
+			if in.Src1 >= 0 {
+				e.src1 = lastWriter[in.Src1]
+			}
+			if in.Src2 >= 0 {
+				e.src2 = lastWriter[in.Src2]
+			}
+			if in.Dest >= 0 {
+				lastWriter[in.Dest] = int32(dispatched)
+			}
+			window = append(window, e)
+			winCount[dispatched%clusters]++
+			robCount++
+			dispatched++
+		}
+
+		// --- Fetch (up to Width, subject to miss-event throttles).
+		if fetchHalted && branchResume > 0 && cycle >= branchResume {
+			fetchHalted = false
+			branchResume = 0
+		}
+		if !fetchHalted && cycle >= fetchStallUntil {
+			for k := 0; k < cfg.Width && fetched < n && fetched-dispatched < feCap; k++ {
+				in := &t.Instrs[fetched]
+				if !cfg.IdealICache && preps[fetched].ires != cache.Hit {
+					// The missing instruction (and everything after it)
+					// arrives only after the miss delay; charge it once
+					// by consuming the classification now.
+					delay := int64(cfg.Hierarchy.Latency(preps[fetched].ires))
+					if preps[fetched].ires == cache.ShortMiss {
+						res.ICacheShort++
+					} else {
+						res.ICacheLong++
+					}
+					if len(outstanding) > 0 {
+						res.ICacheOverlapped++
+					}
+					preps[fetched].ires = cache.Hit
+					fetchStallUntil = cycle + delay
+					break
+				}
+				feReady[fetched%feCap] = cycle + int64(cfg.FrontEndDepth)
+				fetched++
+				if in.Class == isa.Branch && preps[fetched-1].misp && !cfg.IdealPredictor {
+					// Fetch of useful instructions stops until the
+					// branch resolves at issue.
+					fetchHalted = true
+					branchResume = 0
+					break
+				}
+			}
+		}
+
+		res.WindowOccupancySum += uint64(len(window))
+		res.ROBOccupancySum += uint64(robCount)
+		res.FrontEndOccupancySum += uint64(fetched - dispatched)
+
+		if cycle-lastRetireCycle > maxIdleCycles {
+			return nil, fmt.Errorf("uarch: no retirement for %d cycles at cycle %d (retired %d/%d) — machine deadlocked",
+				maxIdleCycles, cycle, retired, n)
+		}
+		cycle++
+	}
+
+	res.Cycles = cycle - 1
+	return res, nil
+}
+
+// isReady reports whether every producer of e has finished by now; with
+// clustering, an operand produced in a different cluster arrives bypass
+// cycles later.
+func isReady(e winEntry, finish []int64, now int64, clusters int, bypass int64) bool {
+	if e.src1 >= 0 {
+		f := finish[e.src1]
+		if f == 0 {
+			return false
+		}
+		if clusters > 1 && int(e.src1)%clusters != int(e.idx)%clusters {
+			f += bypass
+		}
+		if f > now {
+			return false
+		}
+	}
+	if e.src2 >= 0 {
+		f := finish[e.src2]
+		if f == 0 {
+			return false
+		}
+		if clusters > 1 && int(e.src2)%clusters != int(e.idx)%clusters {
+			f += bypass
+		}
+		if f > now {
+			return false
+		}
+	}
+	return true
+}
+
+// newPredictor instantiates the configured predictor: the spec when
+// given, otherwise the default gshare with the given index width.
+func newPredictor(spec *predictor.Spec, bits uint) (predictor.Predictor, error) {
+	if spec != nil {
+		return spec.New()
+	}
+	return predictor.NewGshare(bits)
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"fomodel/internal/isa"
+)
+
+// profileJSON is the on-disk form of a Profile. The instruction mix is
+// keyed by class mnemonic so files stay readable and stable if class
+// numbering ever changes.
+type profileJSON struct {
+	Name           string             `json:"name"`
+	Mix            map[string]float64 `json:"mix"`
+	BlockLenMean   float64            `json:"block_len_mean"`
+	NumBlocks      int                `json:"num_blocks"`
+	HotBlocks      int                `json:"hot_blocks"`
+	HotJumpFrac    float64            `json:"hot_jump_frac"`
+	EscapeFrac     float64            `json:"escape_frac"`
+	HardBranchFrac float64            `json:"hard_branch_frac"`
+	HardTakenProb  float64            `json:"hard_taken_prob"`
+	EasyBiasLo     float64            `json:"easy_bias_lo"`
+	EasyBiasHi     float64            `json:"easy_bias_hi"`
+	EasyTakenFrac  float64            `json:"easy_taken_frac"`
+	NoDepFrac      float64            `json:"no_dep_frac"`
+	DepShortFrac   float64            `json:"dep_short_frac"`
+	DepShortMean   float64            `json:"dep_short_mean"`
+	DepLongAlpha   float64            `json:"dep_long_alpha"`
+	DepLongMax     int                `json:"dep_long_max"`
+	TwoSrcFrac     float64            `json:"two_src_frac"`
+	DataHotSize    uint64             `json:"data_hot_size"`
+	DataWarmSize   uint64             `json:"data_warm_size"`
+	DataColdSize   uint64             `json:"data_cold_size"`
+	DataHotFrac    float64            `json:"data_hot_frac"`
+	DataWarmFrac   float64            `json:"data_warm_frac"`
+	ColdBurstMean  float64            `json:"cold_burst_mean"`
+	ColdStride     uint64             `json:"cold_stride"`
+}
+
+// classByName maps mix keys back to classes.
+func classByName(name string) (isa.Class, bool) {
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if c.String() == name {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// MarshalJSON encodes the profile with mnemonic mix keys.
+func (p Profile) MarshalJSON() ([]byte, error) {
+	j := profileJSON{
+		Name:           p.Name,
+		Mix:            make(map[string]float64),
+		BlockLenMean:   p.BlockLenMean,
+		NumBlocks:      p.NumBlocks,
+		HotBlocks:      p.HotBlocks,
+		HotJumpFrac:    p.HotJumpFrac,
+		EscapeFrac:     p.EscapeFrac,
+		HardBranchFrac: p.HardBranchFrac,
+		HardTakenProb:  p.HardTakenProb,
+		EasyBiasLo:     p.EasyBiasLo,
+		EasyBiasHi:     p.EasyBiasHi,
+		EasyTakenFrac:  p.EasyTakenFrac,
+		NoDepFrac:      p.NoDepFrac,
+		DepShortFrac:   p.DepShortFrac,
+		DepShortMean:   p.DepShortMean,
+		DepLongAlpha:   p.DepLongAlpha,
+		DepLongMax:     p.DepLongMax,
+		TwoSrcFrac:     p.TwoSrcFrac,
+		DataHotSize:    p.DataHotSize,
+		DataWarmSize:   p.DataWarmSize,
+		DataColdSize:   p.DataColdSize,
+		DataHotFrac:    p.DataHotFrac,
+		DataWarmFrac:   p.DataWarmFrac,
+		ColdBurstMean:  p.ColdBurstMean,
+		ColdStride:     p.ColdStride,
+	}
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if p.Mix[c] > 0 {
+			j.Mix[c.String()] = p.Mix[c]
+		}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes a profile and rejects unknown mix keys; the
+// resulting profile is NOT validated here — call Validate before use.
+func (p *Profile) UnmarshalJSON(data []byte) error {
+	var j profileJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("workload: decode profile: %w", err)
+	}
+	*p = Profile{
+		Name:           j.Name,
+		BlockLenMean:   j.BlockLenMean,
+		NumBlocks:      j.NumBlocks,
+		HotBlocks:      j.HotBlocks,
+		HotJumpFrac:    j.HotJumpFrac,
+		EscapeFrac:     j.EscapeFrac,
+		HardBranchFrac: j.HardBranchFrac,
+		HardTakenProb:  j.HardTakenProb,
+		EasyBiasLo:     j.EasyBiasLo,
+		EasyBiasHi:     j.EasyBiasHi,
+		EasyTakenFrac:  j.EasyTakenFrac,
+		NoDepFrac:      j.NoDepFrac,
+		DepShortFrac:   j.DepShortFrac,
+		DepShortMean:   j.DepShortMean,
+		DepLongAlpha:   j.DepLongAlpha,
+		DepLongMax:     j.DepLongMax,
+		TwoSrcFrac:     j.TwoSrcFrac,
+		DataHotSize:    j.DataHotSize,
+		DataWarmSize:   j.DataWarmSize,
+		DataColdSize:   j.DataColdSize,
+		DataHotFrac:    j.DataHotFrac,
+		DataWarmFrac:   j.DataWarmFrac,
+		ColdBurstMean:  j.ColdBurstMean,
+		ColdStride:     j.ColdStride,
+	}
+	for name, w := range j.Mix {
+		c, ok := classByName(name)
+		if !ok {
+			return fmt.Errorf("workload: unknown instruction class %q in mix", name)
+		}
+		p.Mix[c] = w
+	}
+	return nil
+}
+
+// ReadProfile decodes and validates one profile from r.
+func ReadProfile(r io.Reader) (Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Profile{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// WriteProfile encodes p to w as indented JSON.
+func WriteProfile(w io.Writer, p Profile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	for _, p := range Profiles() {
+		var buf bytes.Buffer
+		if err := WriteProfile(&buf, p); err != nil {
+			t.Fatalf("%s: encode: %v", p.Name, err)
+		}
+		got, err := ReadProfile(&buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", p.Name, err)
+		}
+		if got != p {
+			t.Fatalf("%s: round trip changed the profile:\n got %+v\nwant %+v", p.Name, got, p)
+		}
+	}
+}
+
+func TestReadProfileRejectsInvalid(t *testing.T) {
+	// Valid JSON, invalid profile (NumBlocks too small).
+	var buf bytes.Buffer
+	p := baseProfile("bad")
+	p.NumBlocks = 1
+	if err := WriteProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProfile(&buf); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestReadProfileRejectsGarbage(t *testing.T) {
+	if _, err := ReadProfile(strings.NewReader("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, err := ReadProfile(strings.NewReader(`{"name":"x","unknown_field":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ReadProfile(strings.NewReader(`{"name":"x","mix":{"nonsense":1}}`)); err == nil {
+		t.Fatal("unknown mix class accepted")
+	}
+}
+
+func TestReadProfileGeneratesUsableTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProfile(&buf, baseProfile("custom")); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := g.Generate(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
