@@ -357,6 +357,60 @@ func BenchmarkLittlesLaw(b *testing.B) {
 	b.ReportMetric(100*res.MeanAbsErr, "approx_err_pct")
 }
 
+// --- Engine parallelism benches -----------------------------------------
+
+// fullSuiteWorkloads measures the engine's headline win: computing every
+// workload analysis on a fresh suite, sequentially vs. on a
+// GOMAXPROCS-sized pool. The analyses are embarrassingly parallel, so on a
+// machine with ≥4 cores BenchmarkSuiteWarmParallel should run ≥2x faster
+// than BenchmarkSuiteWarmSequential; on a single-core runner the two
+// necessarily tie.
+func fullSuiteWorkloads(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(60000, 1)
+		s.Workers = workers
+		if workers > 1 {
+			s.Warm()
+		}
+		for _, name := range s.Names {
+			if _, err := s.Workload(name); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSuiteWarmSequential(b *testing.B) { fullSuiteWorkloads(b, 1) }
+
+func BenchmarkSuiteWarmParallel(b *testing.B) {
+	fullSuiteWorkloads(b, experiments.DefaultWorkers())
+}
+
+// fullExperimentRun times a representative experiment battery on a fresh
+// suite at the given pool size; the workload analyses dominate, with the
+// per-benchmark simulator runs of fig15/fig9 close behind — both fan out.
+func fullExperimentRun(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(60000, 1)
+		s.Names = []string{"gzip", "mcf", "vortex", "vpr", "twolf", "gap"}
+		s.Workers = workers
+		if _, err := experiments.Figure15(s); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Figure9(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExperimentsSequential(b *testing.B) { fullExperimentRun(b, 1) }
+
+func BenchmarkExperimentsParallel(b *testing.B) {
+	fullExperimentRun(b, experiments.DefaultWorkers())
+}
+
 // --- Component micro-benchmarks ----------------------------------------
 
 func BenchmarkWorkloadGeneration(b *testing.B) {

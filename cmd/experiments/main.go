@@ -4,12 +4,16 @@
 // Usage:
 //
 //	experiments [-n instructions] [-seed seed] [-list] [-csv] [-out dir]
-//	            [experiment ...]
+//	            [-parallel workers] [-timing] [-quiet] [experiment ...]
 //
 // With no arguments it runs every experiment in label order. -csv prints
 // comma-separated values for tabular experiments (non-tabular ones fall
 // back to text); -out writes each experiment's output to <dir>/<label>.txt
-// (or .csv) instead of stdout.
+// (or .csv) instead of stdout. -parallel sizes the worker pool that
+// workload analyses and experiments fan out across (0 = GOMAXPROCS, 1 =
+// sequential); outputs are always emitted in label order, so any setting
+// produces identical results. -timing prints a per-workload and
+// per-experiment wall-time breakdown after the run.
 package main
 
 import (

@@ -3,9 +3,13 @@
 //
 // Usage:
 //
-//	report [-n instructions] [-seed seed] [-o REPORT.md]
+//	report [-n instructions] [-seed seed] [-parallel workers] [-timing]
+//	       [-o REPORT.md]
 //
-// With -o "" (default) the report goes to stdout.
+// With -o "" (default) the report goes to stdout. -parallel sizes the
+// worker pool the experiments fan out across (0 = GOMAXPROCS, 1 =
+// sequential); the generated report is identical at any setting. -timing
+// prints a per-workload/per-experiment wall-time breakdown to stderr.
 package main
 
 import (
@@ -21,9 +25,17 @@ func main() {
 	n := flag.Int("n", 500000, "dynamic instructions per workload")
 	seed := flag.Uint64("seed", 1, "workload generation seed")
 	out := flag.String("o", "", "output file (default: stdout)")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	timing := flag.Bool("timing", false, "print a timing breakdown to stderr")
 	flag.Parse()
 
 	suite := experiments.NewSuite(*n, *seed)
+	suite.Workers = *parallel
+	var timings *experiments.Timings
+	if *timing {
+		timings = &experiments.Timings{}
+		suite.Timings = timings
+	}
 	r, err := report.Generate(suite)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "report: %v\n", err)
@@ -43,6 +55,11 @@ func main() {
 	if err := r.Write(w); err != nil {
 		fmt.Fprintf(os.Stderr, "report: %v\n", err)
 		os.Exit(1)
+	}
+	if *timing {
+		fmt.Fprint(os.Stderr, timings.Render())
+		workloads, sims := suite.Counters()
+		fmt.Fprintf(os.Stderr, "counters: %d workload analyses, %d simulator runs\n", workloads, sims)
 	}
 	fmt.Fprintf(os.Stderr, "report: %d/%d checks passed\n", r.Passed, r.Total)
 	if r.Passed < r.Total {

@@ -204,6 +204,40 @@ func TestExperimentsUnknownLabel(t *testing.T) {
 	}
 }
 
+// TestExperimentsParallelDeterminism is the acceptance check for the
+// parallel engine: -parallel 1 and -parallel 4 must produce byte-identical
+// output. The "methods" experiment is excluded because its table reports
+// wall-clock times, which no scheduling discipline can make reproducible.
+func TestExperimentsParallelDeterminism(t *testing.T) {
+	labels := []string{"fig2", "fig8", "fig15", "table1", "statsim"}
+	run := func(parallel string) string {
+		var out bytes.Buffer
+		args := append([]string{"-n", "20000", "-quiet", "-parallel", parallel}, labels...)
+		if err := Experiments(args, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	seq := run("1")
+	par := run("4")
+	if seq != par {
+		t.Fatalf("-parallel 1 and -parallel 4 diverge:\n--- sequential ---\n%s--- parallel ---\n%s", seq, par)
+	}
+}
+
+func TestExperimentsTiming(t *testing.T) {
+	var out bytes.Buffer
+	if err := Experiments([]string{"-n", "20000", "-quiet", "-timing", "fig8", "table1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Timing breakdown", "workload", "experiment", "counters:", "workload analyses", "simulator runs"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("timing output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestFosimExtensionFlags(t *testing.T) {
 	var base, ext bytes.Buffer
 	if err := Fosim([]string{"-n", "15000", "gzip"}, &base); err != nil {

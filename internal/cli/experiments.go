@@ -12,7 +12,10 @@ import (
 )
 
 // Experiments implements cmd/experiments: regenerate paper tables and
-// figures by label.
+// figures by label. Independent experiments fan out across a bounded
+// worker pool (-parallel), but their outputs are always written in label
+// order, so any -parallel value produces byte-identical output (modulo
+// the wall-time annotations suppressed by -quiet).
 func Experiments(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(out)
@@ -22,6 +25,8 @@ func Experiments(args []string, out io.Writer) error {
 	csv := fs.Bool("csv", false, "emit CSV for tabular experiments")
 	outDir := fs.String("out", "", "write outputs to this directory instead of stdout")
 	quiet := fs.Bool("quiet", false, "suppress timing lines")
+	parallel := fs.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	timing := fs.Bool("timing", false, "print a per-workload/per-experiment timing breakdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -38,41 +43,72 @@ func Experiments(args []string, out io.Writer) error {
 	if len(labels) == 0 {
 		labels = reg.Labels()
 	}
-	suite := experiments.NewSuite(*n, *seed)
 	for _, label := range labels {
-		run, ok := reg[label]
-		if !ok {
+		if _, ok := reg[label]; !ok {
 			return fmt.Errorf("experiments: unknown experiment %q (try -list)", label)
 		}
+	}
+
+	suite := experiments.NewSuite(*n, *seed)
+	suite.Workers = *parallel
+	var timings *experiments.Timings
+	if *timing {
+		timings = &experiments.Timings{}
+		suite.Timings = timings
+	}
+
+	// Each experiment renders on its worker; the emit callback writes the
+	// finished bodies in label order on this goroutine.
+	type rendered struct {
+		body, ext string
+		elapsed   time.Duration
+	}
+	err := experiments.RunOrdered(*parallel, len(labels), func(i int) (rendered, error) {
+		label := labels[i]
 		start := time.Now()
-		res, err := run(suite)
+		res, err := reg[label](suite)
 		if err != nil {
-			return fmt.Errorf("experiments: %s: %w", label, err)
+			return rendered{}, fmt.Errorf("experiments: %s: %w", label, err)
 		}
-		body, ext := res.Render(), "txt"
+		r := rendered{body: res.Render(), ext: "txt", elapsed: time.Since(start)}
 		if *csv {
 			if c, ok := res.(interface{ CSV() string }); ok {
-				body, ext = c.CSV(), "csv"
+				r.body, r.ext = c.CSV(), "csv"
 			}
 		}
+		timings.Record("experiment", label, r.elapsed)
+		return r, nil
+	}, func(i int, r rendered) error {
+		label := labels[i]
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
 				return err
 			}
-			path := filepath.Join(*outDir, label+"."+ext)
-			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			path := filepath.Join(*outDir, label+"."+r.ext)
+			if err := os.WriteFile(path, []byte(r.body), 0o644); err != nil {
 				return err
 			}
 			if !*quiet {
-				fmt.Fprintf(out, "== %s (%.1fs) → %s\n", label, time.Since(start).Seconds(), path)
+				fmt.Fprintf(out, "== %s (%.1fs) → %s\n", label, r.elapsed.Seconds(), path)
 			}
-			continue
+			return nil
 		}
 		if *quiet {
-			fmt.Fprintf(out, "== %s ==\n%s\n", label, body)
+			fmt.Fprintf(out, "== %s ==\n%s\n", label, r.body)
 		} else {
-			fmt.Fprintf(out, "== %s (%.1fs) ==\n%s\n", label, time.Since(start).Seconds(), body)
+			fmt.Fprintf(out, "== %s (%.1fs) ==\n%s\n", label, r.elapsed.Seconds(), r.body)
 		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if *timing {
+		if body := timings.Render(); body != "" {
+			fmt.Fprint(out, body)
+		}
+		workloads, sims := suite.Counters()
+		fmt.Fprintf(out, "counters: %d workload analyses, %d simulator runs\n", workloads, sims)
 	}
 	return nil
 }

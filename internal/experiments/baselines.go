@@ -26,28 +26,32 @@ type InOrderResult struct {
 	Rows []InOrderRow
 }
 
-// InOrderBaseline runs the comparison over three contrasting benchmarks.
+// InOrderBaseline runs the comparison over three contrasting benchmarks,
+// fanning them out across the suite's worker pool.
 func InOrderBaseline(s *Suite) (*InOrderResult, error) {
+	benches := []string{"gzip", "mcf", "vpr"}
 	res := &InOrderResult{}
-	for _, bench := range []string{"gzip", "mcf", "vpr"} {
+	err := RunOrdered(s.workers(), len(benches), func(i int) (InOrderRow, error) {
+		var zero InOrderRow
+		bench := benches[i]
 		w, err := s.Workload(bench)
 		if err != nil {
-			return nil, err
+			return zero, err
 		}
 		ooo, err := s.Simulate(w, nil)
 		if err != nil {
-			return nil, err
+			return zero, err
 		}
 		inorder, err := s.Simulate(w, func(c *uarch.Config) { c.InOrder = true })
 		if err != nil {
-			return nil, err
+			return zero, err
 		}
 		small, err := s.Simulate(w, func(c *uarch.Config) {
 			c.InOrder = true
 			c.WindowSize = 4
 		})
 		if err != nil {
-			return nil, err
+			return zero, err
 		}
 		row := InOrderRow{
 			Name:            bench,
@@ -56,7 +60,13 @@ func InOrderBaseline(s *Suite) (*InOrderResult, error) {
 			InOrderSmallWin: small.CPI(),
 		}
 		row.Slowdown = row.InOrderCPI / row.OOOCPI
+		return row, nil
+	}, func(_ int, row InOrderRow) error {
 		res.Rows = append(res.Rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -104,16 +114,16 @@ type LittleResult struct {
 // LittlesLaw measures both sides of the approximation at the baseline
 // window size.
 func LittlesLaw(s *Suite) (*LittleResult, error) {
-	res := &LittleResult{}
 	lat := s.Sim.Latencies
-	err := s.EachWorkload(func(w *Workload) error {
+	rows, err := MapWorkloads(s, func(w *Workload) (LittleRow, error) {
+		var zero LittleRow
 		real, err := iw.Characteristic(w.Trace, []int{s.Machine.WindowSize}, iw.Options{Latencies: &lat})
 		if err != nil {
-			return err
+			return zero, err
 		}
 		unit, err := iw.InterpolateAt(w.Points, float64(s.Machine.WindowSize))
 		if err != nil {
-			return err
+			return zero, err
 		}
 		row := LittleRow{
 			Name:       w.Name,
@@ -121,12 +131,12 @@ func LittlesLaw(s *Suite) (*LittleResult, error) {
 			ScaledI1:   unit / w.Trace.AverageLatency(lat),
 		}
 		row.Err = relErr(row.ScaledI1, row.MeasuredIL)
-		res.Rows = append(res.Rows, row)
-		return nil
+		return row, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	res := &LittleResult{Rows: rows}
 	for _, r := range res.Rows {
 		res.MeanAbsErr += abs(r.Err)
 	}

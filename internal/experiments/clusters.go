@@ -29,34 +29,41 @@ type ClusterResult struct {
 func ExtensionClusters(s *Suite) (*ClusterResult, error) {
 	const bypass = 1
 	res := &ClusterResult{BypassLatency: bypass}
-	for _, bench := range []string{"gzip", "vortex", "vpr"} {
-		w, err := s.Workload(bench)
+	jobs := sweepGrid([]string{"gzip", "vortex", "vpr"}, []int{1, 2, 4})
+	err := RunOrdered(s.workers(), len(jobs), func(i int) (ClusterPoint, error) {
+		var zero ClusterPoint
+		w, err := s.Workload(jobs[i].bench)
 		if err != nil {
-			return nil, err
+			return zero, err
 		}
-		for _, k := range []int{1, 2, 4} {
-			sim, err := s.Simulate(w, func(c *uarch.Config) {
-				c.Clusters = k
-				c.BypassLatency = bypass
-			})
-			if err != nil {
-				return nil, err
-			}
-			m := s.Machine
-			m.Clusters = k
-			m.BypassLatency = bypass
-			est, err := m.Estimate(w.Inputs, modelOptions())
-			if err != nil {
-				return nil, err
-			}
-			res.Points = append(res.Points, ClusterPoint{
-				Bench:    bench,
-				Clusters: k,
-				SimCPI:   sim.CPI(),
-				ModelCPI: est.CPI,
-				Err:      relErr(est.CPI, sim.CPI()),
-			})
+		k := jobs[i].value
+		sim, err := s.Simulate(w, func(c *uarch.Config) {
+			c.Clusters = k
+			c.BypassLatency = bypass
+		})
+		if err != nil {
+			return zero, err
 		}
+		m := s.Machine
+		m.Clusters = k
+		m.BypassLatency = bypass
+		est, err := m.Estimate(w.Inputs, modelOptions())
+		if err != nil {
+			return zero, err
+		}
+		return ClusterPoint{
+			Bench:    w.Name,
+			Clusters: k,
+			SimCPI:   sim.CPI(),
+			ModelCPI: est.CPI,
+			Err:      relErr(est.CPI, sim.CPI()),
+		}, nil
+	}, func(_ int, pt ClusterPoint) error {
+		res.Points = append(res.Points, pt)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

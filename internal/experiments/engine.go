@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the parallel experiment engine: a bounded worker pool that
+// fans independent pieces of work — workload analyses, simulator runs,
+// whole experiments — out across goroutines while keeping every rendered
+// result in deterministic report order. The rule throughout is "compute
+// concurrently, render in order": workers may finish in any order, but
+// results are always consumed on the calling goroutine in index order, so
+// a run with one worker and a run with N workers produce byte-identical
+// output.
+
+// DefaultWorkers is the engine's default pool size: one worker per
+// available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// normalizeWorkers maps the "unset" zero value (and negatives) to the
+// default pool size.
+func normalizeWorkers(workers int) int {
+	if workers <= 0 {
+		return DefaultWorkers()
+	}
+	return workers
+}
+
+// RunOrdered runs n independent jobs on a pool of at most workers
+// goroutines (0 means DefaultWorkers) and delivers each result to emit on
+// the calling goroutine, strictly in index order. compute(i) may run
+// concurrently with any other compute(j); emit never does, and emit(i, …)
+// always happens before emit(i+1, …).
+//
+// The first error — from compute, in index order, or from emit — stops
+// the ordered delivery and is returned. Jobs already started keep running
+// to completion in the background, but no new jobs are handed out.
+func RunOrdered[T any](workers, n int, compute func(int) (T, error), emit func(int, T) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = normalizeWorkers(workers)
+	if workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			v, err := compute(i)
+			if err != nil {
+				return err
+			}
+			if emit != nil {
+				if err := emit(i, v); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	type slot struct {
+		v   T
+		err error
+	}
+	results := make([]slot, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+
+	// The feeder hands out indices until the work is done or the consumer
+	// bails out early; quit keeps it from leaking in the latter case.
+	work := make(chan int)
+	quit := make(chan struct{})
+	defer close(quit)
+	go func() {
+		defer close(work)
+		for i := 0; i < n; i++ {
+			select {
+			case work <- i:
+			case <-quit:
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range work {
+				results[i].v, results[i].err = compute(i)
+				close(done[i])
+			}
+		}()
+	}
+
+	for i := 0; i < n; i++ {
+		<-done[i]
+		if err := results[i].err; err != nil {
+			return err
+		}
+		if emit != nil {
+			if err := emit(i, results[i].v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MapWorkloads computes fn for every benchmark concurrently (bounded by
+// s.Workers) and returns the per-benchmark results in report order, so
+// parallel and sequential runs build identical result slices. fn runs on
+// pool goroutines and must not touch shared mutable state. Like
+// EachWorkload, the first failure in report order wins, wrapped with the
+// benchmark name.
+func MapWorkloads[T any](s *Suite, fn func(*Workload) (T, error)) ([]T, error) {
+	out := make([]T, 0, len(s.Names))
+	err := RunOrdered(s.workers(), len(s.Names), func(i int) (T, error) {
+		name := s.Names[i]
+		w, err := s.Workload(name)
+		if err != nil {
+			var zero T
+			return zero, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		v, err := fn(w)
+		if err != nil {
+			return v, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		return v, nil
+	}, func(_ int, v T) error {
+		out = append(out, v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Job is one named unit of engine work.
+type Job struct {
+	Name string
+	Run  func() error
+}
+
+// Engine runs independent named jobs — typically whole experiments — on a
+// bounded worker pool.
+type Engine struct {
+	// Workers bounds the pool; 0 means DefaultWorkers.
+	Workers int
+	// Timings, when non-nil, receives one "experiment" sample per job.
+	Timings *Timings
+}
+
+// NewEngine returns an engine with the given pool size (0 means
+// DefaultWorkers).
+func NewEngine(workers int) *Engine { return &Engine{Workers: workers} }
+
+// Do runs every job on the pool and waits for all of them to finish. The
+// returned error is the earliest failure in argument order, so the
+// outcome does not depend on goroutine scheduling.
+func (e *Engine) Do(jobs ...Job) error {
+	workers := normalizeWorkers(e.Workers)
+	sem := make(chan struct{}, workers)
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			errs[i] = jobs[i].Run()
+			e.Timings.Record("experiment", jobs[i].Name, time.Since(start))
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TimingSample is one named wall-time measurement.
+type TimingSample struct {
+	// Phase groups samples ("workload", "experiment").
+	Phase string
+	// Name identifies the benchmark or experiment label.
+	Name string
+	// Elapsed is the measured wall time.
+	Elapsed time.Duration
+}
+
+// Timings collects named wall-time samples from concurrently executing
+// work. All methods are safe for concurrent use, and every method is a
+// no-op on a nil receiver so instrumented code paths need no guards.
+type Timings struct {
+	mu      sync.Mutex
+	samples []TimingSample
+}
+
+// Record appends one sample.
+func (t *Timings) Record(phase, name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.samples = append(t.samples, TimingSample{Phase: phase, Name: name, Elapsed: d})
+	t.mu.Unlock()
+}
+
+// Samples returns a copy of the collected samples sorted by phase, then
+// descending elapsed time, then name.
+func (t *Timings) Samples() []TimingSample {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]TimingSample, len(t.samples))
+	copy(out, t.samples)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Phase != out[j].Phase {
+			return out[i].Phase < out[j].Phase
+		}
+		if out[i].Elapsed != out[j].Elapsed {
+			return out[i].Elapsed > out[j].Elapsed
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Render prints the samples as an aligned table, slowest first within
+// each phase, with a per-phase total. The output is wall-time based and
+// therefore not covered by the engine's byte-identical-output guarantee.
+func (t *Timings) Render() string {
+	samples := t.Samples()
+	if len(samples) == 0 {
+		return ""
+	}
+	tab := &table{
+		title:  "Timing breakdown (wall time per unit of engine work)",
+		header: []string{"phase", "name", "elapsed"},
+	}
+	totals := map[string]time.Duration{}
+	var order []string
+	for _, s := range samples {
+		if _, ok := totals[s.Phase]; !ok {
+			order = append(order, s.Phase)
+		}
+		totals[s.Phase] += s.Elapsed
+		tab.addRow(s.Phase, s.Name, s.Elapsed.Round(time.Millisecond).String())
+	}
+	parts := make([]string, 0, len(order))
+	for _, phase := range order {
+		parts = append(parts, fmt.Sprintf("%s %s", phase, totals[phase].Round(time.Millisecond)))
+	}
+	tab.addNote("totals: %s (concurrent work overlaps, so totals can exceed wall time)",
+		strings.Join(parts, ", "))
+	return tab.String()
+}

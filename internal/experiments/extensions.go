@@ -82,31 +82,40 @@ func ExtensionFU(s *Suite) (*ExtensionResult, error) {
 	res := &ExtensionResult{
 		Title: "Extension: limited functional units (1 mul, 1 div, 1 FP, 1 load, 1 store)",
 	}
-	err := s.EachWorkload(func(w *Workload) error {
+	type fuRow struct {
+		row  ExtensionRow
+		note string
+	}
+	rows, err := MapWorkloads(s, func(w *Workload) (fuRow, error) {
+		var zero fuRow
 		sim, err := s.Simulate(w, func(c *uarch.Config) { c.FUCounts = fu })
 		if err != nil {
-			return err
+			return zero, err
 		}
 		m := s.Machine
 		m.FUCounts = fu
 		est, err := m.Estimate(w.Inputs, modelOptions())
 		if err != nil {
-			return err
+			return zero, err
 		}
-		res.Rows = append(res.Rows, ExtensionRow{
-			Name:     w.Name,
-			ModelCPI: est.CPI,
-			SimCPI:   sim.CPI(),
-			Err:      relErr(est.CPI, sim.CPI()),
-		})
-		if len(res.Rows) == 1 {
-			res.Notes = append(res.Notes,
-				fmt.Sprintf("effective width for %s: %.2f of %d", w.Name, est.EffectiveWidth, m.Width))
-		}
-		return nil
+		return fuRow{
+			row: ExtensionRow{
+				Name:     w.Name,
+				ModelCPI: est.CPI,
+				SimCPI:   sim.CPI(),
+				Err:      relErr(est.CPI, sim.CPI()),
+			},
+			note: fmt.Sprintf("effective width for %s: %.2f of %d", w.Name, est.EffectiveWidth, m.Width),
+		}, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	for i, r := range rows {
+		res.Rows = append(res.Rows, r.row)
+		if i == 0 {
+			res.Notes = append(res.Notes, r.note)
+		}
 	}
 	res.finish()
 	return res, nil
@@ -187,10 +196,11 @@ func ExtensionTLB(s *Suite) (*ExtensionResult, error) {
 		Title: fmt.Sprintf("Extension: data TLB (%d entries, %d B pages, %d-cycle walk)",
 			tlbCfg.Entries, tlbCfg.PageBytes, tlbCfg.MissLatency),
 	}
-	err := s.EachWorkload(func(w *Workload) error {
+	rows, err := MapWorkloads(s, func(w *Workload) (ExtensionRow, error) {
+		var zero ExtensionRow
 		sim, err := s.Simulate(w, func(c *uarch.Config) { c.TLB = &tlbCfg })
 		if err != nil {
-			return err
+			return zero, err
 		}
 		// Re-analyze with the TLB so the model sees miss rates and
 		// clustering.
@@ -203,29 +213,29 @@ func ExtensionTLB(s *Suite) (*ExtensionResult, error) {
 		scfg.TLB = &tlbCfg
 		sum, err := stats.Analyze(w.Trace, scfg)
 		if err != nil {
-			return err
+			return zero, err
 		}
 		in, err := core.InputsFromCurve(w.Law, w.Points, s.Machine.WindowSize, sum)
 		if err != nil {
-			return err
+			return zero, err
 		}
 		m := s.Machine
 		m.TLBMissLatency = tlbCfg.MissLatency
 		est, err := m.Estimate(in, modelOptions())
 		if err != nil {
-			return err
+			return zero, err
 		}
-		res.Rows = append(res.Rows, ExtensionRow{
+		return ExtensionRow{
 			Name:     w.Name,
 			ModelCPI: est.CPI,
 			SimCPI:   sim.CPI(),
 			Err:      relErr(est.CPI, sim.CPI()),
-		})
-		return nil
+		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	res.Rows = rows
 	res.finish()
 	return res, nil
 }

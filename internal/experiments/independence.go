@@ -33,37 +33,38 @@ type Figure2Result struct {
 }
 
 // Figure2 runs the five simulator configurations per benchmark and builds
-// the independence demonstration.
+// the independence demonstration. The benchmarks fan out across the
+// suite's worker pool.
 func Figure2(s *Suite) (*Figure2Result, error) {
-	res := &Figure2Result{}
-	err := s.EachWorkload(func(w *Workload) error {
+	rows, err := MapWorkloads(s, func(w *Workload) (Figure2Row, error) {
+		var zero Figure2Row
 		ideal, err := s.Simulate(w, func(c *uarch.Config) {
 			c.IdealICache, c.IdealDCache, c.IdealPredictor = true, true, true
 		})
 		if err != nil {
-			return err
+			return zero, err
 		}
 		brOnly, err := s.Simulate(w, func(c *uarch.Config) {
 			c.IdealICache, c.IdealDCache = true, true
 		})
 		if err != nil {
-			return err
+			return zero, err
 		}
 		icOnly, err := s.Simulate(w, func(c *uarch.Config) {
 			c.IdealDCache, c.IdealPredictor = true, true
 		})
 		if err != nil {
-			return err
+			return zero, err
 		}
 		dOnly, err := s.Simulate(w, func(c *uarch.Config) {
 			c.IdealICache, c.IdealPredictor = true, true
 		})
 		if err != nil {
-			return err
+			return zero, err
 		}
 		combined, err := s.Simulate(w, nil)
 		if err != nil {
-			return err
+			return zero, err
 		}
 
 		n := float64(w.Trace.Len())
@@ -94,12 +95,12 @@ func Figure2(s *Suite) (*Figure2Result, error) {
 		}
 		row.IndependentErr = relErr(row.IndependentIPC, row.CombinedIPC)
 		row.CompensatedErr = relErr(row.CompensatedIPC, row.CombinedIPC)
-		res.Rows = append(res.Rows, row)
-		return nil
+		return row, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	res := &Figure2Result{Rows: rows}
 	for _, r := range res.Rows {
 		res.MeanIndependentErr += abs(r.IndependentErr)
 		res.MeanCompensatedErr += abs(r.CompensatedErr)

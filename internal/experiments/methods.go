@@ -41,51 +41,67 @@ func MethodologyComparison(s *Suite) (*MethodsResult, error) {
 	// window pays the full latency of its in-flight misses before it can
 	// finish); N/40-instruction windows (25% of the trace timed) keep it moderate.
 	sc := sampling.Config{WindowLen: s.N / 40, Period: s.N / 10}
-	err := s.EachWorkload(func(w *Workload) error {
+	// Each benchmark's methodology times are measured on its own worker
+	// goroutine and summed afterwards, so the CPU-time totals are the same
+	// whether the benchmarks run sequentially or fan out.
+	type benchResult struct {
+		row                              MethodsRow
+		refT, modelT, statSimT, sampledT time.Duration
+		sampledFraction                  float64
+	}
+	results, err := MapWorkloads(s, func(w *Workload) (benchResult, error) {
+		var br benchResult
 		t0 := time.Now()
 		ref, err := s.Simulate(w, nil)
 		if err != nil {
-			return err
+			return br, err
 		}
-		res.RefTime += time.Since(t0)
+		br.refT = time.Since(t0)
 
 		t0 = time.Now()
 		est, err := s.Machine.Estimate(w.Inputs, modelOptions())
 		if err != nil {
-			return err
+			return br, err
 		}
-		res.ModelTime += time.Since(t0)
+		br.modelT = time.Since(t0)
 
 		t0 = time.Now()
 		ss, _, err := statsim.Simulate(w.Trace, s.Sim, s.Seed+0x5757)
 		if err != nil {
-			return err
+			return br, err
 		}
-		res.StatSimTime += time.Since(t0)
+		br.statSimT = time.Since(t0)
 
 		t0 = time.Now()
 		sp, err := sampling.Estimate(w.Trace, s.Sim, sc)
 		if err != nil {
-			return err
+			return br, err
 		}
-		res.SampledTime += time.Since(t0)
-		res.SampledFraction = sp.SampledFraction()
+		br.sampledT = time.Since(t0)
+		br.sampledFraction = sp.SampledFraction()
 
-		row := MethodsRow{
+		br.row = MethodsRow{
 			Name:    w.Name,
 			RefCPI:  ref.CPI(),
 			Model:   est.CPI,
 			StatSim: ss.CPI(),
 			Sampled: sp.CPI,
 		}
-		row.ModelErr = relErr(row.Model, row.RefCPI)
-		row.StatSimErr = relErr(row.StatSim, row.RefCPI)
-		row.SampledErr = relErr(row.Sampled, row.RefCPI)
-		res.Rows = append(res.Rows, row)
-		return nil
+		br.row.ModelErr = relErr(br.row.Model, br.row.RefCPI)
+		br.row.StatSimErr = relErr(br.row.StatSim, br.row.RefCPI)
+		br.row.SampledErr = relErr(br.row.Sampled, br.row.RefCPI)
+		return br, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	for _, br := range results {
+		res.Rows = append(res.Rows, br.row)
+		res.RefTime += br.refT
+		res.ModelTime += br.modelT
+		res.StatSimTime += br.statSimT
+		res.SampledTime += br.sampledT
+		res.SampledFraction = br.sampledFraction
 	}
 	n := float64(len(res.Rows))
 	for _, r := range res.Rows {

@@ -30,31 +30,31 @@ type Figure15Result struct {
 }
 
 // Figure15 evaluates the complete model against the detailed simulator
-// following the paper's §5 procedure.
+// following the paper's §5 procedure. The benchmarks fan out across the
+// suite's worker pool.
 func Figure15(s *Suite) (*Figure15Result, error) {
-	res := &Figure15Result{}
-	err := s.EachWorkload(func(w *Workload) error {
+	rows, err := MapWorkloads(s, func(w *Workload) (Figure15Row, error) {
+		var zero Figure15Row
 		est, err := s.Machine.Estimate(w.Inputs, modelOptions())
 		if err != nil {
-			return err
+			return zero, err
 		}
 		sim, err := s.Simulate(w, nil)
 		if err != nil {
-			return err
+			return zero, err
 		}
-		row := Figure15Row{
+		return Figure15Row{
 			Name:     w.Name,
 			ModelCPI: est.CPI,
 			SimCPI:   sim.CPI(),
 			Err:      relErr(est.CPI, sim.CPI()),
 			Estimate: est,
-		}
-		res.Rows = append(res.Rows, row)
-		return nil
+		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	res := &Figure15Result{Rows: rows}
 	for _, r := range res.Rows {
 		e := abs(r.Err)
 		res.MeanAbsErr += e

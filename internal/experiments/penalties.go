@@ -27,10 +27,10 @@ type Figure9Result struct {
 	Rows []Figure9Row
 }
 
-// Figure9 measures the branch misprediction penalty per benchmark.
+// Figure9 measures the branch misprediction penalty per benchmark,
+// fanning the benchmarks out across the suite's worker pool.
 func Figure9(s *Suite) (*Figure9Result, error) {
-	res := &Figure9Result{}
-	err := s.EachWorkload(func(w *Workload) error {
+	rows, err := MapWorkloads(s, func(w *Workload) (Figure9Row, error) {
 		row := Figure9Row{Name: w.Name}
 		for _, depth := range []int{5, 9} {
 			ideal, err := s.Simulate(w, func(c *uarch.Config) {
@@ -38,14 +38,14 @@ func Figure9(s *Suite) (*Figure9Result, error) {
 				c.IdealICache, c.IdealDCache, c.IdealPredictor = true, true, true
 			})
 			if err != nil {
-				return err
+				return row, err
 			}
 			brOnly, err := s.Simulate(w, func(c *uarch.Config) {
 				c.FrontEndDepth = depth
 				c.IdealICache, c.IdealDCache = true, true
 			})
 			if err != nil {
-				return err
+				return row, err
 			}
 			penalty := 0.0
 			if brOnly.Mispredicts > 0 {
@@ -66,13 +66,12 @@ func Figure9(s *Suite) (*Figure9Result, error) {
 				row.SimPenalty9, row.ModelIsolated9 = penalty, isolated
 			}
 		}
-		res.Rows = append(res.Rows, row)
-		return nil
+		return row, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return res, nil
+	return &Figure9Result{Rows: rows}, nil
 }
 
 // tab builds the result table.
@@ -116,8 +115,7 @@ type Figure11Result struct {
 // Figure11 measures the I-cache miss penalty per benchmark at front-end
 // depths 5 and 9 (real I-cache, ideal D-cache and predictor).
 func Figure11(s *Suite) (*Figure11Result, error) {
-	res := &Figure11Result{MissDelay: s.Sim.Hierarchy.ShortMissLatency}
-	err := s.EachWorkload(func(w *Workload) error {
+	rows, err := MapWorkloads(s, func(w *Workload) (Figure11Row, error) {
 		row := Figure11Row{Name: w.Name}
 		for _, depth := range []int{5, 9} {
 			ideal, err := s.Simulate(w, func(c *uarch.Config) {
@@ -125,14 +123,14 @@ func Figure11(s *Suite) (*Figure11Result, error) {
 				c.IdealICache, c.IdealDCache, c.IdealPredictor = true, true, true
 			})
 			if err != nil {
-				return err
+				return row, err
 			}
 			icOnly, err := s.Simulate(w, func(c *uarch.Config) {
 				c.FrontEndDepth = depth
 				c.IdealDCache, c.IdealPredictor = true, true
 			})
 			if err != nil {
-				return err
+				return row, err
 			}
 			misses := icOnly.ICacheShort + icOnly.ICacheLong
 			penalty := 0.0
@@ -145,13 +143,12 @@ func Figure11(s *Suite) (*Figure11Result, error) {
 				row.SimPenalty9, row.Misses9 = penalty, misses
 			}
 		}
-		res.Rows = append(res.Rows, row)
-		return nil
+		return row, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return res, nil
+	return &Figure11Result{Rows: rows, MissDelay: s.Sim.Hierarchy.ShortMissLatency}, nil
 }
 
 // tab builds the result table.
@@ -197,28 +194,29 @@ type Figure14Result struct {
 	Rows []Figure14Row
 }
 
-// Figure14 measures the long data miss penalty per benchmark.
+// Figure14 measures the long data miss penalty per benchmark, fanning the
+// benchmarks out across the suite's worker pool.
 func Figure14(s *Suite) (*Figure14Result, error) {
-	res := &Figure14Result{}
-	err := s.EachWorkload(func(w *Workload) error {
+	rows, err := MapWorkloads(s, func(w *Workload) (Figure14Row, error) {
+		var zero Figure14Row
 		ideal, err := s.Simulate(w, func(c *uarch.Config) {
 			c.IdealICache, c.IdealDCache, c.IdealPredictor = true, true, true
 		})
 		if err != nil {
-			return err
+			return zero, err
 		}
 		dOnly, err := s.Simulate(w, func(c *uarch.Config) {
 			c.IdealICache, c.IdealPredictor = true, true
 		})
 		if err != nil {
-			return err
+			return zero, err
 		}
 		serial, err := s.Simulate(w, func(c *uarch.Config) {
 			c.IdealICache, c.IdealPredictor = true, true
 			c.SerializeLongMisses = true
 		})
 		if err != nil {
-			return err
+			return zero, err
 		}
 		row := Figure14Row{Name: w.Name, LongMisses: dOnly.DCacheLong}
 		if dOnly.DCacheLong > 0 {
@@ -228,13 +226,12 @@ func Figure14(s *Suite) (*Figure14Result, error) {
 			row.IsolatedPenalty = float64(serial.Cycles-ideal.Cycles) / float64(serial.DCacheLong)
 		}
 		row.ModelPenalty = float64(s.Machine.LongMissLatency) * w.Inputs.OverlapFactor
-		res.Rows = append(res.Rows, row)
-		return nil
+		return row, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return res, nil
+	return &Figure14Result{Rows: rows}, nil
 }
 
 // tab builds the result table.

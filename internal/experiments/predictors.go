@@ -37,51 +37,64 @@ func PredictorStudy(s *Suite) (*PredictorStudyResult, error) {
 		{Kind: predictor.KindBimodal, IndexBits: 13},
 		{Kind: predictor.KindAlwaysTaken},
 	}
+	benches := []string{"gzip", "crafty", "twolf"}
+	type predictorJob struct {
+		bench string
+		spec  predictor.Spec
+	}
+	var jobs []predictorJob
+	for _, bench := range benches {
+		for i := range specs {
+			jobs = append(jobs, predictorJob{bench: bench, spec: specs[i]})
+		}
+	}
 	res := &PredictorStudyResult{MeanAbsErrByPredictor: make(map[string]float64)}
 	counts := make(map[string]int)
-	for _, bench := range []string{"gzip", "crafty", "twolf"} {
+	err := RunOrdered(s.workers(), len(jobs), func(i int) (PredictorPoint, error) {
+		var zero PredictorPoint
+		bench, spec := jobs[i].bench, jobs[i].spec
 		w, err := s.Workload(bench)
 		if err != nil {
-			return nil, err
+			return zero, err
 		}
-		for i := range specs {
-			spec := specs[i]
-			name := spec.Kind.String()
-
-			sim, err := s.Simulate(w, func(c *uarch.Config) { c.Predictor = &spec })
-			if err != nil {
-				return nil, err
-			}
-			scfg := stats.DefaultConfig()
-			scfg.Hierarchy = s.Sim.Hierarchy
-			scfg.Latencies = s.Sim.Latencies
-			scfg.ROBSize = s.Machine.ROBSize
-			scfg.Warmup = s.Sim.Warmup
-			scfg.Predictor = &spec
-			sum, err := stats.Analyze(w.Trace, scfg)
-			if err != nil {
-				return nil, err
-			}
-			in, err := core.InputsFromCurve(w.Law, w.Points, s.Machine.WindowSize, sum)
-			if err != nil {
-				return nil, err
-			}
-			est, err := s.Machine.Estimate(in, modelOptions())
-			if err != nil {
-				return nil, err
-			}
-			pt := PredictorPoint{
-				Predictor:      name,
-				Bench:          bench,
-				MispredictRate: sum.MispredictRate(),
-				SimCPI:         sim.CPI(),
-				ModelCPI:       est.CPI,
-				Err:            relErr(est.CPI, sim.CPI()),
-			}
-			res.Points = append(res.Points, pt)
-			res.MeanAbsErrByPredictor[name] += abs(pt.Err)
-			counts[name]++
+		sim, err := s.Simulate(w, func(c *uarch.Config) { c.Predictor = &spec })
+		if err != nil {
+			return zero, err
 		}
+		scfg := stats.DefaultConfig()
+		scfg.Hierarchy = s.Sim.Hierarchy
+		scfg.Latencies = s.Sim.Latencies
+		scfg.ROBSize = s.Machine.ROBSize
+		scfg.Warmup = s.Sim.Warmup
+		scfg.Predictor = &spec
+		sum, err := stats.Analyze(w.Trace, scfg)
+		if err != nil {
+			return zero, err
+		}
+		in, err := core.InputsFromCurve(w.Law, w.Points, s.Machine.WindowSize, sum)
+		if err != nil {
+			return zero, err
+		}
+		est, err := s.Machine.Estimate(in, modelOptions())
+		if err != nil {
+			return zero, err
+		}
+		return PredictorPoint{
+			Predictor:      spec.Kind.String(),
+			Bench:          bench,
+			MispredictRate: sum.MispredictRate(),
+			SimCPI:         sim.CPI(),
+			ModelCPI:       est.CPI,
+			Err:            relErr(est.CPI, sim.CPI()),
+		}, nil
+	}, func(_ int, pt PredictorPoint) error {
+		res.Points = append(res.Points, pt)
+		res.MeanAbsErrByPredictor[pt.Predictor] += abs(pt.Err)
+		counts[pt.Predictor]++
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for name, total := range res.MeanAbsErrByPredictor {
 		res.MeanAbsErrByPredictor[name] = total / float64(counts[name])

@@ -26,21 +26,22 @@ type RefinementResult struct {
 	MeanMeasuredErr float64
 }
 
-// BranchBurstRefinement runs the comparison over all benchmarks.
+// BranchBurstRefinement runs the comparison over all benchmarks, fanning
+// them out across the suite's worker pool.
 func BranchBurstRefinement(s *Suite) (*RefinementResult, error) {
-	res := &RefinementResult{}
-	err := s.EachWorkload(func(w *Workload) error {
+	rows, err := MapWorkloads(s, func(w *Workload) (RefinementRow, error) {
+		var zero RefinementRow
 		sim, err := s.Simulate(w, nil)
 		if err != nil {
-			return err
+			return zero, err
 		}
 		mid, err := s.Machine.Estimate(w.Inputs, core.Options{BranchMode: core.BranchMidpoint})
 		if err != nil {
-			return err
+			return zero, err
 		}
 		meas, err := s.Machine.Estimate(w.Inputs, core.Options{BranchMode: core.BranchMeasured})
 		if err != nil {
-			return err
+			return zero, err
 		}
 		row := RefinementRow{
 			Name:        w.Name,
@@ -51,12 +52,12 @@ func BranchBurstRefinement(s *Suite) (*RefinementResult, error) {
 		}
 		row.MidpointErr = relErr(row.MidpointCPI, row.SimCPI)
 		row.MeasuredErr = relErr(row.MeasuredCPI, row.SimCPI)
-		res.Rows = append(res.Rows, row)
-		return nil
+		return row, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	res := &RefinementResult{Rows: rows}
 	for _, r := range res.Rows {
 		res.MeanMidpointErr += abs(r.MidpointErr)
 		res.MeanMeasuredErr += abs(r.MeasuredErr)

@@ -29,21 +29,22 @@ type StatSimResult struct {
 	MeanStatSimErr float64
 }
 
-// StatSimStudy runs both methodologies across all benchmarks.
+// StatSimStudy runs both methodologies across all benchmarks, fanning the
+// benchmarks out across the suite's worker pool.
 func StatSimStudy(s *Suite) (*StatSimResult, error) {
-	res := &StatSimResult{}
-	err := s.EachWorkload(func(w *Workload) error {
+	rows, err := MapWorkloads(s, func(w *Workload) (StatSimRow, error) {
+		var zero StatSimRow
 		ref, err := s.Simulate(w, nil)
 		if err != nil {
-			return err
+			return zero, err
 		}
 		est, err := s.Machine.Estimate(w.Inputs, modelOptions())
 		if err != nil {
-			return err
+			return zero, err
 		}
 		ss, _, err := statsim.Simulate(w.Trace, s.Sim, s.Seed+0x5757)
 		if err != nil {
-			return err
+			return zero, err
 		}
 		row := StatSimRow{
 			Name:       w.Name,
@@ -53,12 +54,12 @@ func StatSimStudy(s *Suite) (*StatSimResult, error) {
 		}
 		row.ModelErr = relErr(row.ModelCPI, row.RefCPI)
 		row.StatSimErr = relErr(row.StatSimCPI, row.RefCPI)
-		res.Rows = append(res.Rows, row)
-		return nil
+		return row, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	res := &StatSimResult{Rows: rows}
 	for _, r := range res.Rows {
 		res.MeanModelErr += abs(r.ModelErr)
 		res.MeanStatSimErr += abs(r.StatSimErr)

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"fomodel/internal/core"
 	"fomodel/internal/iw"
@@ -20,7 +22,9 @@ import (
 
 // Suite owns the shared experiment inputs: the benchmark list, trace
 // length, seed, and the baseline machine. Workload analyses are computed
-// once and cached; the cache is safe for concurrent use.
+// once and cached; the cache is safe for concurrent use and single-flight
+// — concurrent requests for the same benchmark block on one computation
+// and share its result.
 type Suite struct {
 	// N is the dynamic instruction count per workload.
 	N int
@@ -33,9 +37,31 @@ type Suite struct {
 	// Sim is the baseline simulator configuration; its parameters mirror
 	// Machine.
 	Sim uarch.Config
+	// Workers bounds the concurrency of the suite's parallel helpers
+	// (MapWorkloads and EachWorkload's cache warm-up). Zero means
+	// DefaultWorkers; one forces sequential execution. Results are
+	// deterministic at any setting.
+	Workers int
+	// Timings, when non-nil, receives one "workload" sample per computed
+	// analysis bundle.
+	Timings *Timings
 
 	mu    sync.Mutex
-	cache map[string]*Workload
+	cache map[string]*workloadEntry
+	// workloadComputes and simRuns count the suite's two expensive
+	// operations (see Counters).
+	workloadComputes atomic.Int64
+	simRuns          atomic.Int64
+}
+
+// workloadEntry is one single-flight cache slot: the first caller runs
+// the computation inside once, every later or concurrent caller blocks on
+// it and shares the outcome. Errors are cached too — the computation is
+// deterministic, so retrying cannot change the result.
+type workloadEntry struct {
+	once sync.Once
+	w    *Workload
+	err  error
 }
 
 // Workload bundles one benchmark's trace and every derived analysis the
@@ -61,20 +87,42 @@ func NewSuite(n int, seed uint64) *Suite {
 		Names:   workload.Names(),
 		Machine: m,
 		Sim:     sim,
-		cache:   make(map[string]*Workload),
+		cache:   make(map[string]*workloadEntry),
 	}
 }
 
+// workers resolves the suite's effective pool size.
+func (s *Suite) workers() int { return normalizeWorkers(s.Workers) }
+
+// Counters reports how many workload analyses and detailed-simulator runs
+// the suite has performed — the two expensive operations worth watching
+// when tuning a parallel run. Safe for concurrent use.
+func (s *Suite) Counters() (workloads, simulations int64) {
+	return s.workloadComputes.Load(), s.simRuns.Load()
+}
+
 // Workload returns the cached analysis bundle for name, computing it on
-// first use.
+// first use. Concurrent callers for the same name block on a single
+// computation and share its result.
 func (s *Suite) Workload(name string) (*Workload, error) {
 	s.mu.Lock()
-	if w, ok := s.cache[name]; ok {
-		s.mu.Unlock()
-		return w, nil
+	e, ok := s.cache[name]
+	if !ok {
+		e = &workloadEntry{}
+		s.cache[name] = e
 	}
 	s.mu.Unlock()
+	e.once.Do(func() {
+		s.workloadComputes.Add(1)
+		start := time.Now()
+		e.w, e.err = s.computeWorkload(name)
+		s.Timings.Record("workload", name, time.Since(start))
+	})
+	return e.w, e.err
+}
 
+// computeWorkload builds the full analysis bundle for one benchmark.
+func (s *Suite) computeWorkload(name string) (*Workload, error) {
 	t, err := workload.Generate(name, s.N, s.Seed)
 	if err != nil {
 		return nil, err
@@ -101,27 +149,51 @@ func (s *Suite) Workload(name string) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &Workload{
+	return &Workload{
 		Name:    name,
 		Trace:   t,
 		Points:  points,
 		Law:     law,
 		Summary: sum,
 		Inputs:  inputs,
-	}
-	s.mu.Lock()
-	s.cache[name] = w
-	s.mu.Unlock()
-	return w, nil
+	}, nil
 }
 
-// EachWorkload runs fn for every benchmark, in order, stopping at the
-// first error.
+// Warm computes any uncached workload analyses concurrently, bounded by
+// Workers. Computation errors stay in the cache and resurface, in report
+// order, when the failing workload is next requested — so Warm itself
+// never fails and is safe to use as a pure prefetch.
+func (s *Suite) Warm() {
+	workers := s.workers()
+	if workers <= 1 || len(s.Names) <= 1 {
+		return
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for _, name := range s.Names {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(name string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			_, _ = s.Workload(name)
+		}(name)
+	}
+	wg.Wait()
+}
+
+// EachWorkload runs fn for every benchmark, in report order, stopping at
+// the first error. The workload analyses are warmed concurrently (bounded
+// by Workers), but fn always runs sequentially on the calling goroutine,
+// so its side effects need no synchronization and keep report order.
+// Experiments whose per-benchmark work is itself expensive should use
+// MapWorkloads instead, which also fans fn out.
 func (s *Suite) EachWorkload(fn func(*Workload) error) error {
+	s.Warm()
 	for _, name := range s.Names {
 		w, err := s.Workload(name)
 		if err != nil {
-			return err
+			return fmt.Errorf("experiments: %s: %w", name, err)
 		}
 		if err := fn(w); err != nil {
 			return fmt.Errorf("experiments: %s: %w", name, err)
@@ -137,6 +209,7 @@ func (s *Suite) Simulate(w *Workload, mutate func(*uarch.Config)) (*uarch.Result
 	if mutate != nil {
 		mutate(&cfg)
 	}
+	s.simRuns.Add(1)
 	return uarch.Simulate(w.Trace, cfg)
 }
 

@@ -55,6 +55,45 @@ func (r *SweepResult) finish() {
 	}
 }
 
+// sweepJob is one (benchmark, parameter value) cell of a sweep grid.
+type sweepJob struct {
+	bench string
+	value int
+}
+
+// sweepGrid flattens a bench × value grid into the job list fed to
+// RunOrdered, keeping report order (benchmarks outer, values inner).
+func sweepGrid(benches []string, values []int) []sweepJob {
+	jobs := make([]sweepJob, 0, len(benches)*len(values))
+	for _, b := range benches {
+		for _, v := range values {
+			jobs = append(jobs, sweepJob{bench: b, value: v})
+		}
+	}
+	return jobs
+}
+
+// runSweep executes every grid cell concurrently (bounded by s.Workers)
+// and collects the points in grid order.
+func runSweep(s *Suite, res *SweepResult, jobs []sweepJob,
+	cell func(*Workload, int) (SweepPoint, error)) (*SweepResult, error) {
+	err := RunOrdered(s.workers(), len(jobs), func(i int) (SweepPoint, error) {
+		w, err := s.Workload(jobs[i].bench)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		return cell(w, jobs[i].value)
+	}, func(_ int, pt SweepPoint) error {
+		res.Points = append(res.Points, pt)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.finish()
+	return res, nil
+}
+
 // WindowSweep validates the steady-state model through the knee of the IW
 // curve: as the window shrinks below saturation, the power law (not the
 // width clip) sets the background IPC. Three benchmarks spanning the beta
@@ -64,47 +103,40 @@ func WindowSweep(s *Suite) (*SweepResult, error) {
 		Title: "Window sweep: steady state through the IW-curve knee",
 		Param: "window",
 	}
-	for _, bench := range []string{"gzip", "vortex", "vpr"} {
-		w, err := s.Workload(bench)
+	jobs := sweepGrid([]string{"gzip", "vortex", "vpr"}, []int{8, 16, 32, 48, 96})
+	return runSweep(s, res, jobs, func(w *Workload, win int) (SweepPoint, error) {
+		var zero SweepPoint
+		sim, err := s.Simulate(w, func(c *uarch.Config) {
+			c.WindowSize = win
+			if c.ROBSize < win {
+				c.ROBSize = win
+			}
+		})
 		if err != nil {
-			return nil, err
+			return zero, err
 		}
-		for _, win := range []int{8, 16, 32, 48, 96} {
-			sim, err := s.Simulate(w, func(c *uarch.Config) {
-				c.WindowSize = win
-				if c.ROBSize < win {
-					c.ROBSize = win
-				}
-			})
-			if err != nil {
-				return nil, err
-			}
-			m := s.Machine
-			m.WindowSize = win
-			if m.ROBSize < win {
-				m.ROBSize = win
-			}
-			// Re-derive the measured steady point at this window size.
-			in, err := core.InputsFromCurve(w.Law, w.Points, win, w.Summary)
-			if err != nil {
-				return nil, err
-			}
-			est, err := m.Estimate(in, modelOptions())
-			if err != nil {
-				return nil, err
-			}
-			pt := SweepPoint{
-				Bench:    bench,
-				Value:    win,
-				SimCPI:   sim.CPI(),
-				ModelCPI: est.CPI,
-				Err:      relErr(est.CPI, sim.CPI()),
-			}
-			res.Points = append(res.Points, pt)
+		m := s.Machine
+		m.WindowSize = win
+		if m.ROBSize < win {
+			m.ROBSize = win
 		}
-	}
-	res.finish()
-	return res, nil
+		// Re-derive the measured steady point at this window size.
+		in, err := core.InputsFromCurve(w.Law, w.Points, win, w.Summary)
+		if err != nil {
+			return zero, err
+		}
+		est, err := m.Estimate(in, modelOptions())
+		if err != nil {
+			return zero, err
+		}
+		return SweepPoint{
+			Bench:    w.Name,
+			Value:    win,
+			SimCPI:   sim.CPI(),
+			ModelCPI: est.CPI,
+			Err:      relErr(est.CPI, sim.CPI()),
+		}, nil
+	})
 }
 
 // ROBSweep validates the data-miss overlap model across reorder-buffer
@@ -116,47 +148,40 @@ func ROBSweep(s *Suite) (*SweepResult, error) {
 		Title: "ROB sweep: equation (8) overlap across reorder-buffer sizes",
 		Param: "rob",
 	}
-	for _, bench := range []string{"mcf", "twolf", "gap"} {
-		w, err := s.Workload(bench)
+	jobs := sweepGrid([]string{"mcf", "twolf", "gap"}, []int{48, 96, 128, 256})
+	return runSweep(s, res, jobs, func(w *Workload, rob int) (SweepPoint, error) {
+		var zero SweepPoint
+		sim, err := s.Simulate(w, func(c *uarch.Config) { c.ROBSize = rob })
 		if err != nil {
-			return nil, err
+			return zero, err
 		}
-		for _, rob := range []int{48, 96, 128, 256} {
-			sim, err := s.Simulate(w, func(c *uarch.Config) { c.ROBSize = rob })
-			if err != nil {
-				return nil, err
-			}
-			// Re-analyze with the new grouping horizon.
-			scfg := stats.DefaultConfig()
-			scfg.Hierarchy = s.Sim.Hierarchy
-			scfg.PredictorBits = s.Sim.PredictorBits
-			scfg.Latencies = s.Sim.Latencies
-			scfg.ROBSize = rob
-			scfg.Warmup = s.Sim.Warmup
-			sum, err := stats.Analyze(w.Trace, scfg)
-			if err != nil {
-				return nil, err
-			}
-			m := s.Machine
-			m.ROBSize = rob
-			in, err := core.InputsFromCurve(w.Law, w.Points, m.WindowSize, sum)
-			if err != nil {
-				return nil, err
-			}
-			est, err := m.Estimate(in, modelOptions())
-			if err != nil {
-				return nil, err
-			}
-			pt := SweepPoint{
-				Bench:    bench,
-				Value:    rob,
-				SimCPI:   sim.CPI(),
-				ModelCPI: est.CPI,
-				Err:      relErr(est.CPI, sim.CPI()),
-			}
-			res.Points = append(res.Points, pt)
+		// Re-analyze with the new grouping horizon.
+		scfg := stats.DefaultConfig()
+		scfg.Hierarchy = s.Sim.Hierarchy
+		scfg.PredictorBits = s.Sim.PredictorBits
+		scfg.Latencies = s.Sim.Latencies
+		scfg.ROBSize = rob
+		scfg.Warmup = s.Sim.Warmup
+		sum, err := stats.Analyze(w.Trace, scfg)
+		if err != nil {
+			return zero, err
 		}
-	}
-	res.finish()
-	return res, nil
+		m := s.Machine
+		m.ROBSize = rob
+		in, err := core.InputsFromCurve(w.Law, w.Points, m.WindowSize, sum)
+		if err != nil {
+			return zero, err
+		}
+		est, err := m.Estimate(in, modelOptions())
+		if err != nil {
+			return zero, err
+		}
+		return SweepPoint{
+			Bench:    w.Name,
+			Value:    rob,
+			SimCPI:   sim.CPI(),
+			ModelCPI: est.CPI,
+			Err:      relErr(est.CPI, sim.CPI()),
+		}, nil
+	})
 }

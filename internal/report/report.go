@@ -45,7 +45,10 @@ type Section struct {
 }
 
 // Generate runs the checked experiments on the suite and assembles the
-// report.
+// report. The experiments are independent, so they fan out across an
+// engine pool sized by s.Workers; the checks and sections are assembled
+// sequentially afterwards, in the fixed report order, so the generated
+// document is identical at any parallelism.
 func Generate(s *experiments.Suite) (*Report, error) {
 	start := time.Now()
 	r := &Report{N: s.N, Seed: s.Seed}
@@ -62,21 +65,54 @@ func Generate(s *experiments.Suite) (*Report, error) {
 		r.Sections = append(r.Sections, Section{Label: label, Body: res.Render()})
 	}
 
-	// Figure 8 — the canonical transient numbers.
-	f8, err := experiments.Figure8(s)
+	// Compute every checked experiment on the engine pool. Each job writes
+	// only its own result variable, so the fan-out needs no locks; the
+	// verdict logic below runs after all jobs finish.
+	var (
+		f8  *experiments.Figure8Result
+		t1  *experiments.Table1Result
+		f2  *experiments.Figure2Result
+		f9  *experiments.Figure9Result
+		f11 *experiments.Figure11Result
+		f14 *experiments.Figure14Result
+		f15 *experiments.Figure15Result
+		f16 *experiments.Figure16Result
+		f17 *experiments.Figure17Result
+		f18 *experiments.Figure18Result
+		f19 *experiments.Figure19Result
+		ss  *experiments.StatSimResult
+		rb  *experiments.RefinementResult
+	)
+	eng := &experiments.Engine{Workers: s.Workers, Timings: s.Timings}
+	job := func(name string, run func() error) experiments.Job {
+		return experiments.Job{Name: name, Run: run}
+	}
+	err := eng.Do(
+		job("fig8", func() (err error) { f8, err = experiments.Figure8(s); return }),
+		job("table1", func() (err error) { t1, err = experiments.Table1(s); return }),
+		job("fig2", func() (err error) { f2, err = experiments.Figure2(s); return }),
+		job("fig9", func() (err error) { f9, err = experiments.Figure9(s); return }),
+		job("fig11", func() (err error) { f11, err = experiments.Figure11(s); return }),
+		job("fig14", func() (err error) { f14, err = experiments.Figure14(s); return }),
+		job("fig15", func() (err error) { f15, err = experiments.Figure15(s); return }),
+		job("fig16", func() (err error) { f16, err = experiments.Figure16(s); return }),
+		job("fig17", func() (err error) { f17, err = experiments.Figure17(s); return }),
+		job("fig18", func() (err error) { f18, err = experiments.Figure18(s); return }),
+		job("fig19", func() (err error) { f19, err = experiments.Figure19(s); return }),
+		job("statsim", func() (err error) { ss, err = experiments.StatSimStudy(s); return }),
+		job("refine-branch", func() (err error) { rb, err = experiments.BranchBurstRefinement(s); return }),
+	)
 	if err != nil {
 		return nil, err
 	}
+
+	// Figure 8 — the canonical transient numbers.
 	check("fig8", "drain 2.1, ramp-up 2.7, total 9.7 cycles",
 		within(f8.Drain, 1.8, 2.4) && within(f8.RampUp, 2.4, 3.0) && within(f8.Total, 9.2, 10.2),
 		"drain %.2f, ramp %.2f, total %.2f", f8.Drain, f8.RampUp, f8.Total)
 	section("fig8", f8)
 
 	// Table 1 — the parameter spread.
-	t1, err := experiments.Table1(s)
-	if err != nil {
-		return nil, err
-	}
 	vortex, _ := t1.Row("vortex")
 	gzip, _ := t1.Row("gzip")
 	vpr, _ := t1.Row("vpr")
@@ -87,20 +123,12 @@ func Generate(s *experiments.Suite) (*Report, error) {
 	section("table1", t1)
 
 	// Figure 2 — miss-event independence.
-	f2, err := experiments.Figure2(s)
-	if err != nil {
-		return nil, err
-	}
 	check("fig2", "independent-sum IPC error ≈5% mean; compensation improves it",
 		f2.MeanIndependentErr < 0.08 && f2.MeanCompensatedErr <= f2.MeanIndependentErr,
 		"independent %.1f%%, compensated %.1f%%", 100*f2.MeanIndependentErr, 100*f2.MeanCompensatedErr)
 	section("fig2", f2)
 
 	// Figure 9 — branch penalty exceeds the pipeline depth.
-	f9, err := experiments.Figure9(s)
-	if err != nil {
-		return nil, err
-	}
 	allAbove := true
 	for _, row := range f9.Rows {
 		if row.SimPenalty5 <= 5 || row.SimPenalty9 <= row.SimPenalty5 {
@@ -112,10 +140,6 @@ func Generate(s *experiments.Suite) (*Report, error) {
 	section("fig9", f9)
 
 	// Figure 11 — I-cache penalty ≈ miss delay, depth-independent.
-	f11, err := experiments.Figure11(s)
-	if err != nil {
-		return nil, err
-	}
 	var num5, num9, den float64
 	for _, row := range f11.Rows {
 		if row.Misses5 < 1000 {
@@ -132,10 +156,6 @@ func Generate(s *experiments.Suite) (*Report, error) {
 	section("fig11", f11)
 
 	// Figure 14 — d-miss penalty model tracks simulation.
-	f14, err := experiments.Figure14(s)
-	if err != nil {
-		return nil, err
-	}
 	var errSum, errN float64
 	for _, row := range f14.Rows {
 		if row.LongMisses < 200 {
@@ -149,20 +169,12 @@ func Generate(s *experiments.Suite) (*Report, error) {
 	section("fig14", f14)
 
 	// Figure 15 — the headline accuracy.
-	f15, err := experiments.Figure15(s)
-	if err != nil {
-		return nil, err
-	}
 	check("fig15", "average CPI error 5.8%, worst 13%",
 		f15.MeanAbsErr < 0.10 && f15.MaxAbsErr < 0.20,
 		"average %.1f%%, worst %.1f%% (%s)", 100*f15.MeanAbsErr, 100*f15.MaxAbsErr, f15.WorstBench)
 	section("fig15", f15)
 
 	// Figure 16 — stack composition.
-	f16, err := experiments.Figure16(s)
-	if err != nil {
-		return nil, err
-	}
 	var mcfShare, twolfShare float64
 	for _, row := range f16.Rows {
 		share := row.Estimate.DCacheCPI / row.Estimate.CPI
@@ -179,10 +191,6 @@ func Generate(s *experiments.Suite) (*Report, error) {
 	section("fig16", f16)
 
 	// Figure 17 — optimal pipeline depth.
-	f17, err := experiments.Figure17(s)
-	if err != nil {
-		return nil, err
-	}
 	check("fig17", "optimum ≈55 stages at width 3, shallower for wider issue",
 		within(float64(f17.Optimal[3].Depth), 45, 70) && f17.Optimal[8].Depth < f17.Optimal[2].Depth,
 		"optima %d/%d/%d/%d at widths 2/3/4/8",
@@ -190,10 +198,6 @@ func Generate(s *experiments.Suite) (*Report, error) {
 	section("fig17", f17)
 
 	// Figure 18 — quadratic prediction requirement.
-	f18, err := experiments.Figure18(s)
-	if err != nil {
-		return nil, err
-	}
 	mid := len(f18.Fractions) / 2
 	ratio := f18.Required[8][mid].InstrBetweenMispredicts / f18.Required[4][mid].InstrBetweenMispredicts
 	check("fig18", "doubling the width quadruples the required misprediction distance",
@@ -201,10 +205,6 @@ func Generate(s *experiments.Suite) (*Report, error) {
 	section("fig18", f18)
 
 	// Figure 19 — ramp peaks.
-	f19, err := experiments.Figure19(s)
-	if err != nil {
-		return nil, err
-	}
 	peak := func(width int) float64 {
 		p := 0.0
 		for _, pt := range f19.Traces[width] {
@@ -220,20 +220,12 @@ func Generate(s *experiments.Suite) (*Report, error) {
 	section("fig19", f19)
 
 	// Statistical simulation comparison.
-	ss, err := experiments.StatSimStudy(s)
-	if err != nil {
-		return nil, err
-	}
 	check("statsim", "statistical simulation and the model land in a similar accuracy band",
 		ss.MeanStatSimErr < 0.10 && ss.MeanModelErr < 0.10,
 		"model %.1f%%, statistical simulation %.1f%%", 100*ss.MeanModelErr, 100*ss.MeanStatSimErr)
 	section("statsim", ss)
 
 	// Branch-burst refinement.
-	rb, err := experiments.BranchBurstRefinement(s)
-	if err != nil {
-		return nil, err
-	}
 	check("refine-branch", "measured burst statistics improve on the midpoint heuristic (§7 #3)",
 		rb.MeanMeasuredErr <= rb.MeanMidpointErr+0.01,
 		"midpoint %.1f%%, measured %.1f%%", 100*rb.MeanMidpointErr, 100*rb.MeanMeasuredErr)

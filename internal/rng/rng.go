@@ -9,7 +9,10 @@
 // statistical batteries that matter for workload synthesis.
 package rng
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Multiplier and default increment of the underlying 64-bit LCG.
 const (
@@ -62,7 +65,7 @@ func (p *PCG) Uint64() uint64 {
 // programming error, not an input error.
 func (p *PCG) Intn(n int) int {
 	if n <= 0 {
-		panic("rng: Intn with non-positive n")
+		panic(fmt.Sprintf("rng: Intn with non-positive n %d", n))
 	}
 	// Lemire's nearly-divisionless bounded sampling.
 	bound := uint32(n)
@@ -84,7 +87,7 @@ func (p *PCG) Intn(n int) int {
 // Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
 func (p *PCG) Int63n(n int64) int64 {
 	if n <= 0 {
-		panic("rng: Int63n with non-positive n")
+		panic(fmt.Sprintf("rng: Int63n with non-positive n %d", n))
 	}
 	max := uint64(n)
 	// Simple rejection against the largest multiple of n below 2^63.

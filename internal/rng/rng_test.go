@@ -1,7 +1,9 @@
 package rng
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -57,12 +59,41 @@ func TestIntnBounds(t *testing.T) {
 }
 
 func TestIntnPanicsOnNonPositive(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Intn(0) did not panic")
-		}
-	}()
-	New(1).Intn(0)
+	// The panic message must name the offending value, so a crash in a
+	// deeply nested sampler is diagnosable from the message alone.
+	for _, n := range []int{0, -7} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("Intn(%d) did not panic", n)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, fmt.Sprintf("%d", n)) {
+					t.Fatalf("Intn(%d) panic %q does not carry the value", n, r)
+				}
+			}()
+			New(1).Intn(n)
+		}()
+	}
+}
+
+func TestInt63nPanicsOnNonPositive(t *testing.T) {
+	for _, n := range []int64{0, -123} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("Int63n(%d) did not panic", n)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, fmt.Sprintf("%d", n)) {
+					t.Fatalf("Int63n(%d) panic %q does not carry the value", n, r)
+				}
+			}()
+			New(1).Int63n(n)
+		}()
+	}
 }
 
 func TestInt63nBounds(t *testing.T) {
