@@ -13,7 +13,10 @@
 // workload analyses and experiments fan out across (0 = GOMAXPROCS, 1 =
 // sequential); outputs are always emitted in label order, so any setting
 // produces identical results. -timing prints a per-workload and
-// per-experiment wall-time breakdown after the run.
+// per-experiment wall-time breakdown after the run, plus counters of
+// workload analyses, simulator runs, and classification-cache reuse
+// (multi-config experiments share one functional cache/predictor pass
+// per benchmark through the suite's prep cache).
 package main
 
 import (

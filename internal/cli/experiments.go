@@ -109,6 +109,8 @@ func Experiments(args []string, out io.Writer) error {
 		}
 		workloads, sims := suite.Counters()
 		fmt.Fprintf(out, "counters: %d workload analyses, %d simulator runs\n", workloads, sims)
+		hits, misses := suite.PrepCounters()
+		fmt.Fprintf(out, "prep cache: %d classification passes, %d reused\n", misses, hits)
 	}
 	return nil
 }

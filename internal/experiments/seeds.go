@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // SeedsResult checks that the headline Fig. 15 accuracy is a property of
@@ -57,8 +58,20 @@ func (r *SeedsResult) tab() *table {
 		t.addRow(fmt.Sprintf("%d", seed), pct(r.MeanErrs[i]))
 	}
 	t.addNote("mean of means %s ± %s", pct(r.Mean), pct(r.Stddev))
-	for bench, count := range r.WorstBench {
-		t.addNote("worst benchmark %s in %d/%d runs", bench, count, len(r.Seeds))
+	// Deterministic note order (map iteration order is randomized):
+	// most-frequent worst case first, ties by name.
+	benches := make([]string, 0, len(r.WorstBench))
+	for bench := range r.WorstBench {
+		benches = append(benches, bench)
+	}
+	sort.Slice(benches, func(i, j int) bool {
+		if r.WorstBench[benches[i]] != r.WorstBench[benches[j]] {
+			return r.WorstBench[benches[i]] > r.WorstBench[benches[j]]
+		}
+		return benches[i] < benches[j]
+	})
+	for _, bench := range benches {
+		t.addNote("worst benchmark %s in %d/%d runs", bench, r.WorstBench[bench], len(r.Seeds))
 	}
 	return t
 }

@@ -48,6 +48,10 @@ type Suite struct {
 
 	mu    sync.Mutex
 	cache map[string]*workloadEntry
+	// preps memoizes the simulator's classification pass and producer
+	// links across configs (see uarch.PrepCache); multi-config studies
+	// share one functional pass per distinct classification key.
+	preps *uarch.PrepCache
 	// workloadComputes and simRuns count the suite's two expensive
 	// operations (see Counters).
 	workloadComputes atomic.Int64
@@ -88,6 +92,7 @@ func NewSuite(n int, seed uint64) *Suite {
 		Machine: m,
 		Sim:     sim,
 		cache:   make(map[string]*workloadEntry),
+		preps:   uarch.NewPrepCache(),
 	}
 }
 
@@ -99,6 +104,14 @@ func (s *Suite) workers() int { return normalizeWorkers(s.Workers) }
 // when tuning a parallel run. Safe for concurrent use.
 func (s *Suite) Counters() (workloads, simulations int64) {
 	return s.workloadComputes.Load(), s.simRuns.Load()
+}
+
+// PrepCounters reports the classification cache's hit/miss counts: how
+// many simulator runs reused a cached functional pass versus paying for
+// one. Safe for concurrent use; zero when the suite was built without
+// NewSuite (caching disabled).
+func (s *Suite) PrepCounters() (hits, misses int64) {
+	return s.preps.Stats()
 }
 
 // Workload returns the cached analysis bundle for name, computing it on
@@ -127,7 +140,9 @@ func (s *Suite) computeWorkload(name string) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	points, err := iw.Characteristic(t, iw.DefaultWindows(), iw.Options{})
+	points, err := iw.Characteristic(t, iw.DefaultWindows(), iw.Options{
+		Producers: trace.ComputeProducers(t),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -203,14 +218,17 @@ func (s *Suite) EachWorkload(fn func(*Workload) error) error {
 }
 
 // Simulate runs the detailed simulator on w with the given ideal toggles,
-// starting from the suite's baseline configuration.
+// starting from the suite's baseline configuration. Runs go through the
+// suite's classification cache: configs that differ only in timing-side
+// parameters (widths, depths, window/ROB sizes, latencies, the Ideal*
+// toggles) share one functional classification pass per benchmark.
 func (s *Suite) Simulate(w *Workload, mutate func(*uarch.Config)) (*uarch.Result, error) {
 	cfg := s.Sim
 	if mutate != nil {
 		mutate(&cfg)
 	}
 	s.simRuns.Add(1)
-	return uarch.Simulate(w.Trace, cfg)
+	return s.preps.Simulate(w.Trace, cfg)
 }
 
 // Estimate runs the analytical model on w with the paper's default

@@ -1,0 +1,54 @@
+package iw_test
+
+import (
+	"sync"
+	"testing"
+
+	"fomodel/internal/iw"
+	"fomodel/internal/trace"
+	"fomodel/internal/workload"
+)
+
+var (
+	benchTraceOnce sync.Once
+	benchTraceVal  *trace.Trace
+)
+
+func benchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	benchTraceOnce.Do(func() {
+		t, err := workload.Generate("gzip", 50000, 1)
+		if err != nil {
+			panic(err)
+		}
+		benchTraceVal = t
+	})
+	return benchTraceVal
+}
+
+// BenchmarkCharacteristic times the full six-window IW sweep, including
+// the one-shot producer-link derivation.
+func BenchmarkCharacteristic(b *testing.B) {
+	t := benchTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := iw.Characteristic(t, iw.DefaultWindows(), iw.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCharacteristicSharedProducers times the sweep when the caller
+// supplies precomputed dependence links (the suite's configuration).
+func BenchmarkCharacteristicSharedProducers(b *testing.B) {
+	t := benchTrace(b)
+	prod := trace.ComputeProducers(t)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := iw.Characteristic(t, iw.DefaultWindows(), iw.Options{Producers: prod}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -37,13 +37,31 @@ type Options struct {
 	// IssueWidth, when positive, caps instructions issued per cycle
 	// (oldest first). Zero means unbounded (the paper's ideal case).
 	IssueWidth int
+	// Producers, when non-nil, supplies precomputed dependence links for
+	// the trace (trace.ComputeProducers), letting callers that also run
+	// other simulators share one derivation. Must have exactly one entry
+	// per instruction; nil means compute them here (once per
+	// Characteristic call, shared across its window sizes).
+	Producers []trace.Producer
 }
+
+// unitLatencies is the all-ones table of the paper's idealized simulation,
+// built once instead of per window-size run.
+var unitLatencies = func() isa.LatencyTable {
+	var t isa.LatencyTable
+	for c := range t {
+		t[c] = 1
+	}
+	return t
+}()
 
 // DefaultWindows is the window-size sweep of the paper's Fig. 4:
 // log2(W) from 1 to 6.
 func DefaultWindows() []int { return []int{2, 4, 8, 16, 32, 64} }
 
-// Characteristic measures the IW curve of t at each window size.
+// Characteristic measures the IW curve of t at each window size. The
+// per-trace preparation (dependence links, scratch buffers) is shared
+// across the window sizes.
 func Characteristic(t *trace.Trace, windows []int, opts Options) ([]Point, error) {
 	if t.Len() == 0 {
 		return nil, fmt.Errorf("iw: empty trace %q", t.Name)
@@ -51,12 +69,30 @@ func Characteristic(t *trace.Trace, windows []int, opts Options) ([]Point, error
 	if len(windows) == 0 {
 		return nil, fmt.Errorf("iw: no window sizes given")
 	}
+	prod := opts.Producers
+	if prod == nil {
+		prod = trace.ComputeProducers(t)
+	} else if len(prod) != t.Len() {
+		return nil, fmt.Errorf("iw: %d producer links for %d instructions", len(prod), t.Len())
+	}
+	lat := unitLatencies
+	if opts.Latencies != nil {
+		lat = *opts.Latencies
+		if err := lat.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	// finish is reused (re-zeroed) across the window sizes.
+	finish := make([]int64, t.Len())
 	points := make([]Point, 0, len(windows))
-	for _, w := range windows {
+	for i, w := range windows {
 		if w <= 0 {
 			return nil, fmt.Errorf("iw: window size %d must be positive", w)
 		}
-		ipc, err := simulate(t, w, opts)
+		if i > 0 {
+			clear(finish)
+		}
+		ipc, err := simulate(t, w, opts.IssueWidth, lat, prod, finish)
 		if err != nil {
 			return nil, err
 		}
@@ -66,34 +102,20 @@ func Characteristic(t *trace.Trace, windows []int, opts Options) ([]Point, error
 }
 
 // simulate runs the idealized window-limited simulation and returns the
-// average issue rate.
-func simulate(t *trace.Trace, window int, opts Options) (float64, error) {
-	unit := isa.LatencyTable{}
-	for c := range unit {
-		unit[c] = 1
-	}
-	lat := unit
-	if opts.Latencies != nil {
-		lat = *opts.Latencies
-		if err := lat.Validate(); err != nil {
-			return 0, err
-		}
-	}
-
+// average issue rate. prod and finish are supplied by Characteristic so
+// the six-window sweep shares one dependence derivation and one scratch
+// buffer; finish must be zeroed on entry.
+func simulate(t *trace.Trace, window, issueWidth int, lat isa.LatencyTable,
+	prod []trace.Producer, finish []int64) (float64, error) {
 	n := t.Len()
-	// finish[j] is the cycle instruction j's result is available; 0 means
-	// not yet issued (cycle numbering starts at 1 to keep 0 free).
-	finish := make([]int64, n)
-	// lastWriter[r] is the index of the last instruction writing r, in
-	// program order up to the fill frontier.
-	var lastWriter [isa.NumArchRegs]int
-	for i := range lastWriter {
-		lastWriter[i] = -1
-	}
 
+	// slot is one window entry: the instruction index, its producer
+	// indices (-1 if none/ready), and the memoized earliest issue cycle
+	// (0 until every producer has issued).
 	type slot struct {
-		idx        int
-		src1, src2 int // producer indices, -1 if none/ready
+		idx        int32
+		src1, src2 int32
+		readyAt    int64
 	}
 	win := make([]slot, 0, window)
 	next := 0 // fill frontier
@@ -102,30 +124,43 @@ func simulate(t *trace.Trace, window int, opts Options) (float64, error) {
 
 	fill := func() {
 		for len(win) < window && next < n {
-			in := &t.Instrs[next]
-			s := slot{idx: next, src1: -1, src2: -1}
-			if in.Src1 >= 0 {
-				s.src1 = lastWriter[in.Src1]
-			}
-			if in.Src2 >= 0 {
-				s.src2 = lastWriter[in.Src2]
-			}
-			if in.Dest >= 0 {
-				lastWriter[in.Dest] = next
+			s := slot{idx: int32(next), src1: prod[next].Src1, src2: prod[next].Src2}
+			if s.src1 < 0 && s.src2 < 0 {
+				s.readyAt = 1 // no producers: ready from the first cycle
 			}
 			win = append(win, s)
 			next++
 		}
 	}
 
-	ready := func(s slot) bool {
-		if s.src1 >= 0 && (finish[s.src1] == 0 || finish[s.src1] > now) {
-			return false
+	// ready memoizes the slot's earliest issue cycle once all producers
+	// have issued; finish entries are write-once, so the memo never goes
+	// stale (see uarch.entryReady for the same pattern).
+	ready := func(s *slot) bool {
+		if s.readyAt != 0 {
+			return s.readyAt <= now
 		}
-		if s.src2 >= 0 && (finish[s.src2] == 0 || finish[s.src2] > now) {
-			return false
+		readyAt := int64(1)
+		if s.src1 >= 0 {
+			f := finish[s.src1]
+			if f == 0 {
+				return false
+			}
+			if f > readyAt {
+				readyAt = f
+			}
 		}
-		return true
+		if s.src2 >= 0 {
+			f := finish[s.src2]
+			if f == 0 {
+				return false
+			}
+			if f > readyAt {
+				readyAt = f
+			}
+		}
+		s.readyAt = readyAt
+		return readyAt <= now
 	}
 
 	fill()
@@ -134,14 +169,15 @@ func simulate(t *trace.Trace, window int, opts Options) (float64, error) {
 		// the optional width cap.
 		kept := win[:0]
 		issuedThisCycle := 0
-		for _, s := range win {
-			if (opts.IssueWidth <= 0 || issuedThisCycle < opts.IssueWidth) && ready(s) {
+		for i := range win {
+			s := &win[i]
+			if (issueWidth <= 0 || issuedThisCycle < issueWidth) && ready(s) {
 				finish[s.idx] = now + int64(lat.Latency(t.Instrs[s.idx].Class))
 				issuedThisCycle++
 				issued++
 				continue
 			}
-			kept = append(kept, s)
+			kept = append(kept, *s)
 		}
 		win = kept
 		fill()

@@ -1,0 +1,179 @@
+package uarch
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fomodel/internal/cache"
+	"fomodel/internal/predictor"
+	"fomodel/internal/trace"
+)
+
+// classKey is the classification-relevant subset of Config. Two configs
+// with equal keys produce bit-identical classify results on the same
+// trace, so the prep cache may share one classification between them.
+//
+// Deliberately excluded — they affect only the timing pass, never the
+// functional classification: Width, FrontEndDepth, WindowSize, ROBSize,
+// Latencies, FUCounts, FetchBufferSize, InOrder, RecordIssueTrace,
+// Clusters, BypassLatency, SerializeLongMisses, the three Ideal* toggles
+// (classify always runs the full functional pass; run decides whether to
+// charge the events), the hierarchy's Short/LongMissLatency, and the
+// TLB's MissLatency. The Ideal-toggle exclusion is what lets the paper's
+// five-simulation experiments (Fig. 2, Fig. 9, …) share one prep.
+type classKey struct {
+	l1i, l1d, l2 cache.Config
+	predBits     uint
+	hasSpec      bool
+	spec         predictor.Spec
+	hasTLB       bool
+	tlbEntries   int
+	tlbPageBytes uint64
+	warmup       bool
+}
+
+// classificationKey projects cfg onto its classification-relevant subset.
+func classificationKey(cfg Config) classKey {
+	k := classKey{
+		l1i:    cfg.Hierarchy.L1I,
+		l1d:    cfg.Hierarchy.L1D,
+		l2:     cfg.Hierarchy.L2,
+		warmup: cfg.Warmup,
+	}
+	if cfg.Predictor != nil {
+		// The spec overrides the gshare default, so PredictorBits is
+		// irrelevant and must not fragment the key.
+		k.hasSpec, k.spec = true, *cfg.Predictor
+	} else {
+		k.predBits = cfg.PredictorBits
+	}
+	if cfg.TLB != nil {
+		k.hasTLB = true
+		k.tlbEntries = cfg.TLB.Entries
+		k.tlbPageBytes = cfg.TLB.PageBytes
+	}
+	return k
+}
+
+// prepsKey identifies one cached classification: the trace (by identity —
+// traces are built once and never mutated by the simulators) and the
+// classification-relevant config subset.
+type prepsKey struct {
+	trace *trace.Trace
+	key   classKey
+}
+
+// prepsEntry is one single-flight cache slot: the first caller classifies
+// inside once, every later or concurrent caller blocks on it and shares
+// the outcome. Errors are cached too — classification is deterministic,
+// so retrying cannot change the result.
+type prepsEntry struct {
+	once  sync.Once
+	preps []prep
+	err   error
+}
+
+// prodEntry single-flights the per-trace producer-link computation.
+type prodEntry struct {
+	once sync.Once
+	prod []trace.Producer
+}
+
+// PrepCache memoizes the expensive one-time preparation work of Simulate
+// across configs and runs: the functional classification pass (caches,
+// predictor, TLB, warmup) keyed on the classification-relevant subset of
+// Config, and the per-trace producer dependence links keyed on the trace
+// alone. Multi-config studies — the paper's five-simulation independence
+// experiments, predictor studies, ROB/window sweeps — vary only
+// timing-side parameters, so with the cache they classify each trace once
+// instead of once per config.
+//
+// The cache is safe for concurrent use and single-flight: concurrent
+// requests for the same key block on one computation and share its
+// result, so a parallel sweep performs exactly the same number of
+// classifications as a sequential one. run never mutates preps or
+// producer links, so sharing one slice across concurrent simulations is
+// race-free.
+//
+// A nil *PrepCache is valid and simply disables caching.
+type PrepCache struct {
+	mu    sync.Mutex
+	preps map[prepsKey]*prepsEntry
+	prods map[*trace.Trace]*prodEntry
+
+	hits, misses atomic.Int64
+}
+
+// NewPrepCache returns an empty cache.
+func NewPrepCache() *PrepCache {
+	return &PrepCache{
+		preps: make(map[prepsKey]*prepsEntry),
+		prods: make(map[*trace.Trace]*prodEntry),
+	}
+}
+
+// Simulate is Simulate with the preparation work served from the cache.
+// It returns results identical to the package-level Simulate for every
+// (trace, config) pair.
+func (pc *PrepCache) Simulate(t *trace.Trace, cfg Config) (*Result, error) {
+	if pc == nil {
+		return Simulate(t, cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("uarch: empty trace %q", t.Name)
+	}
+	preps, err := pc.classified(t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return run(t, cfg, preps, pc.producers(t))
+}
+
+// classified returns the cached classification of (t, cfg), computing it
+// on first use.
+func (pc *PrepCache) classified(t *trace.Trace, cfg Config) ([]prep, error) {
+	k := prepsKey{trace: t, key: classificationKey(cfg)}
+	pc.mu.Lock()
+	e, ok := pc.preps[k]
+	if !ok {
+		e = &prepsEntry{}
+		pc.preps[k] = e
+	}
+	pc.mu.Unlock()
+	if ok {
+		pc.hits.Add(1)
+	} else {
+		pc.misses.Add(1)
+	}
+	e.once.Do(func() { e.preps, e.err = classify(t, cfg) })
+	return e.preps, e.err
+}
+
+// producers returns the cached producer links of t, computing them on
+// first use.
+func (pc *PrepCache) producers(t *trace.Trace) []trace.Producer {
+	pc.mu.Lock()
+	e, ok := pc.prods[t]
+	if !ok {
+		e = &prodEntry{}
+		pc.prods[t] = e
+	}
+	pc.mu.Unlock()
+	e.once.Do(func() { e.prod = trace.ComputeProducers(t) })
+	return e.prod
+}
+
+// Stats reports how many classification requests were served from the
+// cache (hits) versus computed (misses). A request that joins an
+// in-flight computation counts as a hit: it performed no work of its own.
+// Safe for concurrent use; zero on a nil cache.
+func (pc *PrepCache) Stats() (hits, misses int64) {
+	if pc == nil {
+		return 0, 0
+	}
+	return pc.hits.Load(), pc.misses.Load()
+}

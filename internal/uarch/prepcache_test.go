@@ -1,0 +1,266 @@
+package uarch
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"fomodel/internal/cache"
+	"fomodel/internal/predictor"
+	"fomodel/internal/rng"
+	"fomodel/internal/trace"
+)
+
+// randomConfig draws a structurally valid configuration spanning both
+// classification-relevant fields (hierarchy geometry, predictor, TLB,
+// warmup) and timing-only fields (widths, sizes, latencies, toggles).
+func randomConfig(r *rng.PCG) Config {
+	cfg := DefaultConfig()
+	cfg.Width = []int{1, 2, 4, 8}[r.Intn(4)]
+	cfg.WindowSize = []int{4, 16, 48}[r.Intn(3)]
+	cfg.ROBSize = cfg.WindowSize + []int{0, 16, 80}[r.Intn(3)]
+	cfg.FrontEndDepth = []int{1, 5, 9}[r.Intn(3)]
+	cfg.IdealICache = r.Bool(0.5)
+	cfg.IdealDCache = r.Bool(0.5)
+	cfg.IdealPredictor = r.Bool(0.5)
+	cfg.Warmup = r.Bool(0.5)
+	cfg.SerializeLongMisses = r.Bool(0.3)
+	cfg.InOrder = r.Bool(0.2)
+	if r.Bool(0.3) {
+		cfg.PredictorBits = uint(8 + r.Intn(8))
+	}
+	if r.Bool(0.3) {
+		spec := predictor.Spec{Kind: predictor.KindBimodal, IndexBits: 10}
+		cfg.Predictor = &spec
+	}
+	if r.Bool(0.3) {
+		tlb := cache.DefaultTLB()
+		tlb.Entries = []int{16, 64}[r.Intn(2)]
+		cfg.TLB = &tlb
+	}
+	if r.Bool(0.3) {
+		cfg.FUCounts[0] = 1 + r.Intn(2)
+	}
+	if r.Bool(0.3) {
+		cfg.FetchBufferSize = r.Intn(16)
+	}
+	if r.Bool(0.2) && cfg.Width%2 == 0 && cfg.WindowSize%2 == 0 {
+		cfg.Clusters = 2
+		cfg.BypassLatency = 1 + r.Intn(2)
+	}
+	if r.Bool(0.3) {
+		cfg.Hierarchy.ShortMissLatency = 4 + r.Intn(12)
+		cfg.Hierarchy.LongMissLatency = 100 + r.Intn(200)
+	}
+	if r.Bool(0.3) {
+		cfg.Hierarchy.L1I.SizeBytes = []uint64{2 << 10, 4 << 10, 8 << 10}[r.Intn(3)]
+	}
+	return cfg
+}
+
+// TestPropertyPrepCacheMatchesUncached is the cache-correctness property:
+// Simulate through a shared PrepCache returns results identical to the
+// uncached Simulate across randomized traces and configs. The cached runs
+// execute concurrently on one cache, so -race also checks the
+// single-flight sharing.
+func TestPropertyPrepCacheMatchesUncached(t *testing.T) {
+	pc := NewPrepCache()
+	r := rng.New(42)
+	type job struct {
+		tr  *trace.Trace
+		cfg Config
+	}
+	var jobs []job
+	for seed := uint64(1); seed <= 4; seed++ {
+		tr := randomTrace(seed, 3000)
+		for k := 0; k < 6; k++ {
+			jobs = append(jobs, job{tr: tr, cfg: randomConfig(r)})
+		}
+	}
+
+	// Uncached references, sequentially.
+	refs := make([]*Result, len(jobs))
+	for i, j := range jobs {
+		ref, err := Simulate(j.tr, j.cfg)
+		if err != nil {
+			t.Fatalf("job %d: uncached: %v", i, err)
+		}
+		refs[i] = ref
+	}
+
+	// Cached runs, concurrently on the shared cache.
+	got := make([]*Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = pc.Simulate(jobs[i].tr, jobs[i].cfg)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range jobs {
+		if errs[i] != nil {
+			t.Fatalf("job %d: cached: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(refs[i], got[i]) {
+			t.Errorf("job %d: cached result differs from uncached\ncfg: %+v\ncached: %+v\nuncached: %+v",
+				i, jobs[i].cfg, got[i], refs[i])
+		}
+	}
+
+	hits, misses := pc.Stats()
+	if hits+misses != int64(len(jobs)) {
+		t.Errorf("stats account for %d requests, want %d", hits+misses, len(jobs))
+	}
+	if misses == 0 || misses == int64(len(jobs)) {
+		t.Errorf("degenerate cache behavior: %d hits, %d misses", hits, misses)
+	}
+}
+
+// TestPrepCacheNilDisablesCaching checks the nil receiver falls back to
+// the plain simulator.
+func TestPrepCacheNilDisablesCaching(t *testing.T) {
+	tr := randomTrace(7, 2000)
+	cfg := DefaultConfig()
+	ref, err := Simulate(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := (*PrepCache)(nil).Simulate(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Error("nil-cache result differs from plain Simulate")
+	}
+}
+
+// TestPrepCacheKeySensitivity pins down the classification key: mutating
+// any timing-only field must re-use the cached classification (no new
+// miss), and mutating any classification-relevant field must always miss.
+func TestPrepCacheKeySensitivity(t *testing.T) {
+	tr := randomTrace(9, 2000)
+	base := DefaultConfig()
+	tlb := cache.DefaultTLB()
+	base.TLB = &tlb
+
+	pc := NewPrepCache()
+	if _, err := pc.Simulate(tr, base); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := pc.Stats(); misses != 1 {
+		t.Fatalf("priming run: %d misses, want 1", misses)
+	}
+
+	outside := map[string]func(*Config){
+		"Width":               func(c *Config) { c.Width = 8 },
+		"FrontEndDepth":       func(c *Config) { c.FrontEndDepth = 9 },
+		"WindowSize":          func(c *Config) { c.WindowSize = 16 },
+		"ROBSize":             func(c *Config) { c.ROBSize = 256 },
+		"Latencies":           func(c *Config) { c.Latencies[1] = 7 },
+		"FUCounts":            func(c *Config) { c.FUCounts[0] = 2 },
+		"FetchBufferSize":     func(c *Config) { c.FetchBufferSize = 8 },
+		"InOrder":             func(c *Config) { c.InOrder = true },
+		"RecordIssueTrace":    func(c *Config) { c.RecordIssueTrace = true },
+		"Clusters":            func(c *Config) { c.Clusters = 2; c.BypassLatency = 1 },
+		"SerializeLongMisses": func(c *Config) { c.SerializeLongMisses = true },
+		"IdealICache":         func(c *Config) { c.IdealICache = true },
+		"IdealDCache":         func(c *Config) { c.IdealDCache = true },
+		"IdealPredictor":      func(c *Config) { c.IdealPredictor = true },
+		"ShortMissLatency":    func(c *Config) { c.Hierarchy.ShortMissLatency = 12 },
+		"LongMissLatency":     func(c *Config) { c.Hierarchy.LongMissLatency = 300 },
+		"TLB.MissLatency":     func(c *Config) { t := *c.TLB; t.MissLatency = 120; c.TLB = &t },
+	}
+	for name, mutate := range outside {
+		cfg := base
+		mutate(&cfg)
+		_, missesBefore := pc.Stats()
+		if _, err := pc.Simulate(tr, cfg); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, missesAfter := pc.Stats(); missesAfter != missesBefore {
+			t.Errorf("timing-only field %s caused a classification cache miss", name)
+		}
+	}
+
+	inside := map[string]func(*Config){
+		"L1I.SizeBytes": func(c *Config) { c.Hierarchy.L1I.SizeBytes = 8 << 10 },
+		"L1D.Assoc":     func(c *Config) { c.Hierarchy.L1D.Assoc = 2 },
+		"L2.SizeBytes":  func(c *Config) { c.Hierarchy.L2.SizeBytes = 256 << 10 },
+		"PredictorBits": func(c *Config) { c.PredictorBits = 10 },
+		"Predictor":     func(c *Config) { c.Predictor = &predictor.Spec{Kind: predictor.KindBimodal, IndexBits: 13} },
+		"Warmup":        func(c *Config) { c.Warmup = !c.Warmup },
+		"TLB.Entries":   func(c *Config) { t := *c.TLB; t.Entries = 16; c.TLB = &t },
+		"TLB removed":   func(c *Config) { c.TLB = nil },
+	}
+	for name, mutate := range inside {
+		cfg := base
+		mutate(&cfg)
+		_, missesBefore := pc.Stats()
+		if _, err := pc.Simulate(tr, cfg); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, missesAfter := pc.Stats(); missesAfter != missesBefore+1 {
+			t.Errorf("classification field %s did not cause a cache miss (misses %d -> %d)",
+				name, missesBefore, missesAfter)
+		}
+	}
+}
+
+// TestPrepCachePredictorBitsIrrelevantUnderSpec checks the key
+// normalization: when an explicit predictor spec overrides the gshare
+// default, PredictorBits is dead configuration and must not fragment the
+// cache.
+func TestPrepCachePredictorBitsIrrelevantUnderSpec(t *testing.T) {
+	tr := randomTrace(11, 2000)
+	spec := predictor.Spec{Kind: predictor.KindAlwaysTaken}
+	cfg := DefaultConfig()
+	cfg.Predictor = &spec
+
+	pc := NewPrepCache()
+	if _, err := pc.Simulate(tr, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.PredictorBits = 20
+	if _, err := pc.Simulate(tr, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := pc.Stats(); misses != 1 {
+		t.Errorf("PredictorBits fragmented the key under an explicit spec: %d misses, want 1", misses)
+	}
+}
+
+// TestPrepCacheSingleFlight hammers one (trace, key) slot from many
+// goroutines: exactly one classification may happen, and every caller
+// must observe the same result.
+func TestPrepCacheSingleFlight(t *testing.T) {
+	tr := randomTrace(13, 4000)
+	pc := NewPrepCache()
+	const callers = 16
+	results := make([]*Result, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := DefaultConfig()
+			// Different timing parameters, same classification key.
+			cfg.Width = 1 + i%4
+			cfg.IdealDCache = i%2 == 0
+			results[i], errs[i] = pc.Simulate(tr, cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+	}
+	if _, misses := pc.Stats(); misses != 1 {
+		t.Errorf("single-flight violated: %d classifications for one key", misses)
+	}
+}

@@ -2,6 +2,7 @@ package uarch
 
 import (
 	"fmt"
+	"sync"
 
 	"fomodel/internal/cache"
 	"fomodel/internal/isa"
@@ -17,7 +18,8 @@ const maxIdleCycles = 1 << 20
 
 // prep holds the precomputed, program-order miss-event classification of
 // one instruction (see the package comment for why classification is
-// decoupled from timing).
+// decoupled from timing). run treats preps as read-only, so one slice may
+// be shared by many concurrent runs (see PrepCache).
 type prep struct {
 	ires    cache.Result
 	dres    cache.Result
@@ -38,7 +40,7 @@ func Simulate(t *trace.Trace, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return run(t, cfg, preps)
+	return run(t, cfg, preps, trace.ComputeProducers(t))
 }
 
 // Event is an externally supplied per-instruction miss-event
@@ -76,7 +78,7 @@ func SimulateWithEvents(t *trace.Trace, events []Event, cfg Config) (*Result, er
 		}
 		preps[i] = prep{ires: ev.ICache, dres: ev.DCache, misp: ev.Mispredict, tlbMiss: ev.TLBMiss}
 	}
-	return run(t, cfg, preps)
+	return run(t, cfg, preps, trace.ComputeProducers(t))
 }
 
 // classify performs the functional program-order pass: every instruction's
@@ -121,35 +123,80 @@ func classify(t *trace.Trace, cfg Config) ([]prep, error) {
 	return preps, nil
 }
 
-// winEntry is one issue-window slot: the instruction index and the indices
-// of its producers (-1 when an operand is ready at dispatch).
+// winEntry is one issue-window slot: the instruction index, the indices
+// of its producers (-1 when an operand is ready at dispatch), the
+// instruction's class and steered cluster (both fixed at dispatch, cached
+// here so the per-cycle scan avoids a modulo and an instruction load per
+// slot), and the memoized earliest issue cycle (0 until every producer
+// has issued).
 type winEntry struct {
 	idx        int32
 	src1, src2 int32
+	class      uint8
+	cluster    uint8
+	readyAt    int64
 }
 
-// run executes the timing simulation proper.
-func run(t *trace.Trace, cfg Config, preps []prep) (*Result, error) {
+// scratch holds the per-run working buffers. Runs borrow one from
+// scratchPool and return it on exit, so a sweep of many simulations reuses
+// the same arenas instead of reallocating them per config; each pool entry
+// is only ever used by one run at a time, so the reuse is race-free.
+type scratch struct {
+	finish          []int64
+	feReady         []int64
+	window          []winEntry
+	outstanding     []int64
+	winCount        []int
+	issuedByCluster []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// grownInt64 returns buf resized to n zeroed entries, reallocating only
+// when the capacity is insufficient.
+func grownInt64(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// grownInts is grownInt64 for []int.
+func grownInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// run executes the timing simulation proper. preps and prod are read-only
+// and may be shared with concurrent runs.
+func run(t *trace.Trace, cfg Config, preps []prep, prod []trace.Producer) (*Result, error) {
 	n := t.Len()
 	res := &Result{
 		Instructions:   n,
 		IssueHistogram: make([]int64, cfg.Width+1),
 	}
 
+	sc := scratchPool.Get().(*scratch)
+
 	// finish[i] is the cycle instruction i's result becomes available;
 	// 0 means not yet issued (cycles start at 1).
-	finish := make([]int64, n)
+	finish := grownInt64(sc.finish, n)
 
 	// Front-end pipeline: instructions [dispatched, fetched) are in
 	// flight; feReady is a ring of their dispatch-ready cycles. An
 	// optional fetch buffer adds capacity beyond the pipeline stages.
 	feCap := cfg.FrontEndDepth*cfg.Width + cfg.FetchBufferSize
-	feReady := make([]int64, feCap)
+	feReady := grownInt64(sc.feReady, feCap)
 
-	window := make([]winEntry, 0, cfg.WindowSize)
-	var lastWriter [isa.NumArchRegs]int32
-	for i := range lastWriter {
-		lastWriter[i] = -1
+	window := sc.window[:0]
+	if cap(window) < cfg.WindowSize {
+		window = make([]winEntry, 0, cfg.WindowSize)
 	}
 
 	// Clustering (§7 extension #3): instructions steer round-robin to
@@ -162,8 +209,22 @@ func run(t *trace.Trace, cfg Config, preps []prep) (*Result, error) {
 	clusterWidth := cfg.Width / clusters
 	clusterWindow := cfg.WindowSize / clusters
 	bypass := int64(cfg.BypassLatency)
-	winCount := make([]int, clusters)
-	issuedByCluster := make([]int, clusters)
+	winCount := grownInts(sc.winCount, clusters)
+	issuedByCluster := grownInts(sc.issuedByCluster, clusters)
+
+	// outstanding holds the finish cycles of in-flight long data misses,
+	// for overlap accounting and the serialize option. Pre-sized so
+	// d-miss-heavy benchmarks (mcf) never grow it in the hot loop.
+	outstanding := sc.outstanding[:0]
+	if cap(outstanding) < 64 {
+		outstanding = make([]int64, 0, 64)
+	}
+
+	defer func() {
+		sc.finish, sc.feReady, sc.window = finish, feReady, window
+		sc.outstanding, sc.winCount, sc.issuedByCluster = outstanding, winCount, issuedByCluster
+		scratchPool.Put(sc)
+	}()
 
 	var (
 		cycle      int64 = 1
@@ -179,9 +240,16 @@ func run(t *trace.Trace, cfg Config, preps []prep) (*Result, error) {
 		fetchHalted     bool
 		branchResume    int64
 
-		// outstanding holds the finish cycles of in-flight long data
-		// misses, for overlap accounting and the serialize option.
-		outstanding []int64
+		// chargedFetch is the highest instruction index whose I-cache
+		// miss has already been charged; fetch is in order, so comparing
+		// against it charges each miss exactly once without mutating the
+		// shared preps.
+		chargedFetch = -1
+
+		// dispSlot/fetchSlot are dispatched%feCap and fetched%feCap kept
+		// as rolling ring indices so the hot loops avoid the division.
+		dispSlot  int
+		fetchSlot int
 
 		lastRetireCycle int64 = 1
 	)
@@ -213,6 +281,10 @@ func run(t *trace.Trace, cfg Config, preps []prep) (*Result, error) {
 		// most FUCounts[class] per class where limited, and at most
 		// Width/Clusters per cluster when partitioned).
 		issuedThisCycle := 0
+		// nextReady is the earliest known ready cycle among entries that
+		// were blocked purely on operand readiness this cycle; it bounds
+		// the next possible issue when the cycle turns out quiescent.
+		var nextReady int64
 		var issuedByClass [isa.NumClasses]int
 		for c := range issuedByCluster {
 			issuedByCluster[c] = 0
@@ -220,15 +292,38 @@ func run(t *trace.Trace, cfg Config, preps []prep) (*Result, error) {
 		if len(window) > 0 {
 			kept := window[:0]
 			stalled := false
-			for _, e := range window {
-				class := t.Instrs[e.idx].Class
-				cluster := int(e.idx) % clusters
-				if stalled ||
-					issuedThisCycle >= cfg.Width ||
-					(clusters > 1 && issuedByCluster[cluster] >= clusterWidth) ||
-					(cfg.FUCounts[class] > 0 && issuedByClass[class] >= cfg.FUCounts[class]) ||
-					!isReady(e, finish, cycle, clusters, bypass) {
-					kept = append(kept, e)
+			for wi := range window {
+				e := &window[wi]
+				class := e.class
+				cluster := int(e.cluster)
+				ok := !stalled &&
+					issuedThisCycle < cfg.Width &&
+					(clusters == 1 || issuedByCluster[cluster] < clusterWidth) &&
+					(cfg.FUCounts[class] == 0 || issuedByClass[class] < cfg.FUCounts[class])
+				if ok {
+					// Check the memoized ready cycle inline — most slots
+					// hit it every cycle while waiting — and fall back to
+					// the producer scan only until it is computed.
+					r := e.readyAt
+					if r == 0 {
+						ok = entryReady(e, finish, cycle, clusters, bypass)
+						r = e.readyAt // memoized by the call when computable
+					} else {
+						ok = r <= cycle
+					}
+					if !ok && r != 0 && (nextReady == 0 || r < nextReady) {
+						nextReady = r
+					}
+				}
+				if !ok {
+					// kept is a prefix of window; while no entry has
+					// issued the slot is already in place, so extend
+					// instead of copying the entry onto itself.
+					if len(kept) == wi {
+						kept = window[:wi+1]
+					} else {
+						kept = append(kept, *e)
+					}
 					// In-order issue stalls at the first instruction
 					// that cannot go, whatever the reason.
 					stalled = stalled || cfg.InOrder
@@ -278,27 +373,34 @@ func run(t *trace.Trace, cfg Config, preps []prep) (*Result, error) {
 
 		// --- Dispatch (in order, up to Width; the steered cluster's
 		// window slice, the whole window, and the ROB must have room).
+		prevDispatched, prevFetched, prevCharged := dispatched, fetched, chargedFetch
 		for k := 0; k < cfg.Width && dispatched < fetched; k++ {
-			if feReady[dispatched%feCap] > cycle ||
+			cl := 0
+			if clusters > 1 {
+				cl = dispatched % clusters
+			}
+			if feReady[dispSlot] > cycle ||
 				len(window) >= cfg.WindowSize || robCount >= cfg.ROBSize ||
-				(clusters > 1 && winCount[dispatched%clusters] >= clusterWindow) {
+				(clusters > 1 && winCount[cl] >= clusterWindow) {
 				break
 			}
-			in := &t.Instrs[dispatched]
-			e := winEntry{idx: int32(dispatched), src1: -1, src2: -1}
-			if in.Src1 >= 0 {
-				e.src1 = lastWriter[in.Src1]
+			e := winEntry{
+				idx:     int32(dispatched),
+				src1:    prod[dispatched].Src1,
+				src2:    prod[dispatched].Src2,
+				class:   uint8(t.Instrs[dispatched].Class),
+				cluster: uint8(cl),
 			}
-			if in.Src2 >= 0 {
-				e.src2 = lastWriter[in.Src2]
-			}
-			if in.Dest >= 0 {
-				lastWriter[in.Dest] = int32(dispatched)
+			if e.src1 < 0 && e.src2 < 0 {
+				e.readyAt = 1 // no producers: ready from the first cycle
 			}
 			window = append(window, e)
-			winCount[dispatched%clusters]++
+			winCount[cl]++
 			robCount++
 			dispatched++
+			if dispSlot++; dispSlot == feCap {
+				dispSlot = 0
+			}
 		}
 
 		// --- Fetch (up to Width, subject to miss-event throttles).
@@ -309,10 +411,11 @@ func run(t *trace.Trace, cfg Config, preps []prep) (*Result, error) {
 		if !fetchHalted && cycle >= fetchStallUntil {
 			for k := 0; k < cfg.Width && fetched < n && fetched-dispatched < feCap; k++ {
 				in := &t.Instrs[fetched]
-				if !cfg.IdealICache && preps[fetched].ires != cache.Hit {
+				if !cfg.IdealICache && fetched > chargedFetch && preps[fetched].ires != cache.Hit {
 					// The missing instruction (and everything after it)
-					// arrives only after the miss delay; charge it once
-					// by consuming the classification now.
+					// arrives only after the miss delay; charge it once,
+					// recording the charge so the retry after the stall
+					// proceeds.
 					delay := int64(cfg.Hierarchy.Latency(preps[fetched].ires))
 					if preps[fetched].ires == cache.ShortMiss {
 						res.ICacheShort++
@@ -322,11 +425,14 @@ func run(t *trace.Trace, cfg Config, preps []prep) (*Result, error) {
 					if len(outstanding) > 0 {
 						res.ICacheOverlapped++
 					}
-					preps[fetched].ires = cache.Hit
+					chargedFetch = fetched
 					fetchStallUntil = cycle + delay
 					break
 				}
-				feReady[fetched%feCap] = cycle + int64(cfg.FrontEndDepth)
+				feReady[fetchSlot] = cycle + int64(cfg.FrontEndDepth)
+				if fetchSlot++; fetchSlot == feCap {
+					fetchSlot = 0
+				}
 				fetched++
 				if in.Class == isa.Branch && preps[fetched-1].misp && !cfg.IdealPredictor {
 					// Fetch of useful instructions stops until the
@@ -342,6 +448,60 @@ func run(t *trace.Trace, cfg Config, preps []prep) (*Result, error) {
 		res.ROBOccupancySum += uint64(robCount)
 		res.FrontEndOccupancySum += uint64(fetched - dispatched)
 
+		// --- Quiescence fast-forward. If this cycle retired, issued,
+		// dispatched, fetched, and charged nothing, the machine state is
+		// frozen and the next cycle where anything can change is exactly
+		// computable: the oldest instruction's completion (retire), the
+		// earliest known operand-ready cycle (issue), the front end's
+		// next dispatch-ready slot, and the pending fetch throttles.
+		// Every skipped cycle would have been an exact replay of this
+		// one, so bulk-accumulate its per-cycle statistics and jump.
+		// Producer-blocked window entries (readyAt still 0) need an
+		// issue first, so they are covered by the issue candidate chain;
+		// window/ROB-full dispatch stalls likewise need an issue or
+		// retire first.
+		if issuedThisCycle == 0 && lastRetireCycle != cycle &&
+			dispatched == prevDispatched && fetched == prevFetched && chargedFetch == prevCharged {
+			next := int64(0)
+			consider := func(c int64) {
+				if c > cycle && (next == 0 || c < next) {
+					next = c
+				}
+			}
+			if retired < dispatched {
+				consider(finish[retired]) // 0 (unissued) is ignored
+			}
+			consider(nextReady)
+			if dispatched < fetched {
+				consider(feReady[dispSlot])
+			}
+			if fetchHalted {
+				consider(branchResume)
+			} else {
+				consider(fetchStallUntil)
+			}
+			// Never jump past the deadlock horizon: the idle check below
+			// must fire at the same cycle it would without skipping. A
+			// cycle with no future event at all is a deadlock; jumping
+			// straight to the horizon reports it immediately.
+			horizon := lastRetireCycle + maxIdleCycles + 1
+			if next == 0 || next > horizon {
+				next = horizon
+			}
+			if skip := next - cycle - 1; skip > 0 {
+				res.IssueHistogram[0] += skip
+				if cfg.RecordIssueTrace {
+					for i := int64(0); i < skip && len(res.IssueTrace) < 1<<22; i++ {
+						res.IssueTrace = append(res.IssueTrace, 0)
+					}
+				}
+				res.WindowOccupancySum += uint64(len(window)) * uint64(skip)
+				res.ROBOccupancySum += uint64(robCount) * uint64(skip)
+				res.FrontEndOccupancySum += uint64(fetched-dispatched) * uint64(skip)
+				cycle += skip
+			}
+		}
+
 		if cycle-lastRetireCycle > maxIdleCycles {
 			return nil, fmt.Errorf("uarch: no retirement for %d cycles at cycle %d (retired %d/%d) — machine deadlocked",
 				maxIdleCycles, cycle, retired, n)
@@ -353,20 +513,27 @@ func run(t *trace.Trace, cfg Config, preps []prep) (*Result, error) {
 	return res, nil
 }
 
-// isReady reports whether every producer of e has finished by now; with
-// clustering, an operand produced in a different cluster arrives bypass
-// cycles later.
-func isReady(e winEntry, finish []int64, now int64, clusters int, bypass int64) bool {
+// entryReady reports whether every producer of e has finished by now.
+// Once all producers have issued, the entry's earliest issue cycle is
+// memoized in e.readyAt — finish entries are write-once, so the memo can
+// never go stale, and later cycles reduce to a single comparison instead
+// of re-reading finish[]. With clustering, an operand produced in a
+// different cluster arrives bypass cycles later.
+func entryReady(e *winEntry, finish []int64, now int64, clusters int, bypass int64) bool {
+	if e.readyAt != 0 {
+		return e.readyAt <= now
+	}
+	readyAt := int64(1)
 	if e.src1 >= 0 {
 		f := finish[e.src1]
 		if f == 0 {
 			return false
 		}
-		if clusters > 1 && int(e.src1)%clusters != int(e.idx)%clusters {
+		if clusters > 1 && int(e.src1)%clusters != int(e.cluster) {
 			f += bypass
 		}
-		if f > now {
-			return false
+		if f > readyAt {
+			readyAt = f
 		}
 	}
 	if e.src2 >= 0 {
@@ -374,14 +541,15 @@ func isReady(e winEntry, finish []int64, now int64, clusters int, bypass int64) 
 		if f == 0 {
 			return false
 		}
-		if clusters > 1 && int(e.src2)%clusters != int(e.idx)%clusters {
+		if clusters > 1 && int(e.src2)%clusters != int(e.cluster) {
 			f += bypass
 		}
-		if f > now {
-			return false
+		if f > readyAt {
+			readyAt = f
 		}
 	}
-	return true
+	e.readyAt = readyAt
+	return readyAt <= now
 }
 
 // newPredictor instantiates the configured predictor: the spec when

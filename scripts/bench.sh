@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# bench.sh — run the suite's benchmarks and record ns/op + allocs/op.
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# Two stages: a -benchtime=1x smoke pass over every benchmark in the
+# repo (so a broken benchmark fails fast without a long timed run), then
+# timed passes over the experiment-level acceptance benchmarks and the
+# simulator/analyzer micro-benchmarks. Results land in BENCH_PR2.json
+# (or the given path) keyed by benchmark name, with the pre-PR-2
+# baseline and computed speedups for the two acceptance benchmarks.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_PR2.json}
+
+echo "== smoke (-benchtime=1x, all benchmarks)" >&2
+go test -run '^$' -bench . -benchtime=1x ./... >/dev/null
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== timed: experiment-level (bench_test.go)" >&2
+go test -run '^$' -bench 'BenchmarkFigure2$|BenchmarkROBSweep$' \
+    -benchmem -benchtime=3x . | tee -a "$tmp" >&2
+echo "== timed: uarch micro-benchmarks" >&2
+go test -run '^$' \
+    -bench 'BenchmarkSimulate$|BenchmarkPrepCacheHit$|BenchmarkPrepCacheMiss$|BenchmarkSimulateIdealSweep$' \
+    -benchmem -benchtime=20x ./internal/uarch/ | tee -a "$tmp" >&2
+echo "== timed: iw + stats micro-benchmarks" >&2
+go test -run '^$' -bench 'BenchmarkCharacteristic' \
+    -benchmem -benchtime=10x ./internal/iw/ | tee -a "$tmp" >&2
+go test -run '^$' -bench 'BenchmarkAnalyze$' \
+    -benchmem -benchtime=10x ./internal/stats/ | tee -a "$tmp" >&2
+
+# Baseline ns/op, B/op, allocs/op for the acceptance benchmarks, measured
+# at the pre-PR-2 tree (commit 58b301e) with the same -benchtime=3x.
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^Benchmark/ {
+    name = $1
+    order[++n] = name
+    for (i = 3; i < NF; i += 2) {
+        if ($(i+1) == "ns/op")          ns[name] = $i
+        else if ($(i+1) == "B/op")      bytes[name] = $i
+        else if ($(i+1) == "allocs/op") allocs[name] = $i
+    }
+}
+END {
+    base_ns["BenchmarkFigure2"]  = 1598509701
+    base_ns["BenchmarkROBSweep"] = 459931992
+    base_allocs["BenchmarkFigure2"]  = 1549
+    base_allocs["BenchmarkROBSweep"] = 731
+    printf "{\n  \"generated\": \"%s\",\n  \"benchmarks\": {\n", date
+    for (j = 1; j <= n; j++) {
+        name = order[j]
+        printf "    \"%s\": {\"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d}%s\n", \
+            name, ns[name], bytes[name], allocs[name], (j < n ? "," : "")
+    }
+    printf "  },\n  \"baseline\": {\n"
+    printf "    \"commit\": \"58b301e\",\n"
+    k = 0
+    for (name in base_ns) k++
+    j = 0
+    for (name in base_ns) {
+        j++
+        printf "    \"%s\": {\"ns_per_op\": %d, \"allocs_per_op\": %d, \"speedup\": %.2f}%s\n", \
+            name, base_ns[name], base_allocs[name], base_ns[name] / ns[name], (j < k ? "," : "")
+    }
+    printf "  }\n}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out" >&2
