@@ -1,0 +1,22 @@
+// Command fomodeld serves first-order CPI predictions over HTTP: see
+// internal/server for the API and internal/cli.Fomodeld for the flags.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"fomodel/internal/cli"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := cli.Fomodeld(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "fomodeld:", err)
+		os.Exit(1)
+	}
+}

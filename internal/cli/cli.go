@@ -11,14 +11,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 	"text/tabwriter"
 
-	"fomodel/internal/cache"
 	"fomodel/internal/core"
 	"fomodel/internal/isa"
 	"fomodel/internal/iw"
+	"fomodel/internal/server"
 	"fomodel/internal/stats"
 	"fomodel/internal/trace"
 	"fomodel/internal/uarch"
@@ -108,7 +106,9 @@ func Traceinfo(args []string, out io.Writer) error {
 }
 
 // machineFlags registers the shared machine-parameter flags, including
-// the §7 extensions (clusters, fetch buffer, TLB, FU limits).
+// the §7 extensions (clusters, fetch buffer, TLB, FU limits). They are
+// the flag-facing form of server.MachineSpec, so the CLI tools and the
+// serving daemon describe machines identically.
 type machineFlags struct {
 	width, depth, window, rob *int
 	clusters, bypass, fetbuf  *int
@@ -132,78 +132,27 @@ func addMachineFlags(fs *flag.FlagSet) machineFlags {
 
 // parseFUCounts parses "class=count" pairs.
 func parseFUCounts(s string) ([isa.NumClasses]int, error) {
-	var fu [isa.NumClasses]int
-	if s == "" {
-		return fu, nil
-	}
-	for _, pair := range strings.Split(s, ",") {
-		name, countStr, ok := strings.Cut(strings.TrimSpace(pair), "=")
-		if !ok {
-			return fu, fmt.Errorf("cli: malformed FU limit %q (want class=count)", pair)
-		}
-		count, err := strconv.Atoi(countStr)
-		if err != nil || count < 1 {
-			return fu, fmt.Errorf("cli: bad FU count in %q", pair)
-		}
-		found := false
-		for c := isa.Class(0); c < isa.NumClasses; c++ {
-			if c.String() == name {
-				fu[c] = count
-				found = true
-				break
-			}
-		}
-		if !found {
-			return fu, fmt.Errorf("cli: unknown instruction class %q", name)
-		}
-	}
-	return fu, nil
+	return server.ParseFUCounts(s)
 }
 
-func (m machineFlags) simConfig() (uarch.Config, error) {
-	cfg := uarch.DefaultConfig()
-	cfg.Width = *m.width
-	cfg.FrontEndDepth = *m.depth
-	cfg.WindowSize = *m.window
-	cfg.ROBSize = *m.rob
-	if *m.clusters > 1 {
-		cfg.Clusters = *m.clusters
-		cfg.BypassLatency = *m.bypass
+// spec projects the parsed flags onto the shared machine description.
+func (m machineFlags) spec() server.MachineSpec {
+	return server.MachineSpec{
+		Width:       *m.width,
+		Depth:       *m.depth,
+		Window:      *m.window,
+		ROB:         *m.rob,
+		Clusters:    *m.clusters,
+		Bypass:      *m.bypass,
+		FetchBuffer: *m.fetbuf,
+		TLB:         *m.tlb,
+		FU:          *m.fu,
 	}
-	cfg.FetchBufferSize = *m.fetbuf
-	if *m.tlb {
-		t := cache.DefaultTLB()
-		cfg.TLB = &t
-	}
-	fu, err := parseFUCounts(*m.fu)
-	if err != nil {
-		return cfg, err
-	}
-	cfg.FUCounts = fu
-	return cfg, nil
 }
 
-func (m machineFlags) machine() (core.Machine, error) {
-	mc := core.DefaultMachine()
-	mc.Width = *m.width
-	mc.FrontEndDepth = *m.depth
-	mc.WindowSize = *m.window
-	mc.ROBSize = *m.rob
-	if *m.clusters > 1 {
-		mc.Clusters = *m.clusters
-		mc.BypassLatency = *m.bypass
-	}
-	mc.FetchBuffer = *m.fetbuf
-	if *m.tlb {
-		mc.TLBMissLatency = cache.DefaultTLB().MissLatency
-	}
-	fu, err := parseFUCounts(*m.fu)
-	if err != nil {
-		return mc, err
-	}
-	mc.FUCounts = fu
-	return mc, nil
-}
+func (m machineFlags) simConfig() (uarch.Config, error) { return m.spec().SimConfig() }
+
+func (m machineFlags) machine() (core.Machine, error) { return m.spec().Machine() }
 
 // Fosim implements cmd/fosim: the detailed simulator.
 func Fosim(args []string, out io.Writer) error {
@@ -297,15 +246,8 @@ func Fomodel(args []string, out io.Writer) error {
 		return err
 	}
 
-	var mode core.BranchPenaltyMode
-	switch *branchMode {
-	case "midpoint":
-		mode = core.BranchMidpoint
-	case "isolated":
-		mode = core.BranchIsolated
-	case "measured":
-		mode = core.BranchMeasured
-	default:
+	mode, err := server.ParseBranchMode(*branchMode)
+	if err != nil {
 		return fmt.Errorf("fomodel: unknown branch mode %q", *branchMode)
 	}
 
@@ -334,63 +276,30 @@ func Fomodel(args []string, out io.Writer) error {
 	default:
 		fmt.Fprintln(tw, "bench\tidealCPI\tbrCPI\tiL1CPI\tiL2CPI\tdCPI\tmodelCPI")
 	}
+	// The full per-trace pipeline is server.Predict — the same function
+	// the daemon's /v1/predict handler calls, which is what keeps a
+	// server response byte-equivalent in content to this tool's output.
 	for _, t := range traces {
-		points, err := iw.Characteristic(t, iw.DefaultWindows(), iw.Options{})
-		if err != nil {
-			return err
-		}
-		law, err := iw.Fit(points)
-		if err != nil {
-			return err
-		}
-		scfg := stats.DefaultConfig()
-		scfg.Warmup = true
-		scfg.ROBSize = machine.ROBSize
-		scfg.TLB = ucfg.TLB // keep the model's TLB inputs consistent
-		sum, err := stats.Analyze(t, scfg)
-		if err != nil {
-			return err
-		}
-		inputs, err := core.InputsFromCurve(law, points, machine.WindowSize, sum)
-		if err != nil {
-			return err
-		}
-		est, err := machine.Estimate(inputs, core.Options{BranchMode: mode})
+		record, err := server.Predict(t, machine, ucfg, mode, *sim, nil)
 		if err != nil {
 			return err
 		}
 		if enc != nil {
-			record := struct {
-				Bench    string        `json:"bench"`
-				Inputs   core.Inputs   `json:"inputs"`
-				Estimate core.Estimate `json:"estimate"`
-				SimCPI   *float64      `json:"sim_cpi,omitempty"`
-			}{Bench: t.Name, Inputs: inputs, Estimate: est}
-			if *sim {
-				r, err := uarch.Simulate(t, ucfg)
-				if err != nil {
-					return err
-				}
-				cpi := r.CPI()
-				record.SimCPI = &cpi
-			}
 			if err := enc.Encode(record); err != nil {
 				return err
 			}
 			continue
 		}
+		est := record.Estimate
 		if !*sim {
 			fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
 				t.Name, est.SteadyCPI, est.BranchCPI, est.ICacheShortCPI, est.ICacheLongCPI, est.DCacheCPI, est.CPI)
 			continue
 		}
-		r, err := uarch.Simulate(t, ucfg)
-		if err != nil {
-			return err
-		}
-		errPct := 100 * (est.CPI - r.CPI()) / r.CPI()
+		simCPI := *record.SimCPI
+		errPct := 100 * (est.CPI - simCPI) / simCPI
 		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%+.1f\n",
-			t.Name, est.SteadyCPI, est.BranchCPI, est.ICacheShortCPI, est.ICacheLongCPI, est.DCacheCPI, est.CPI, r.CPI(), errPct)
+			t.Name, est.SteadyCPI, est.BranchCPI, est.ICacheShortCPI, est.ICacheLongCPI, est.DCacheCPI, est.CPI, simCPI, errPct)
 	}
 	return tw.Flush()
 }

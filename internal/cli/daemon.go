@@ -1,0 +1,79 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+
+	"fomodel/internal/server"
+)
+
+// Fomodeld implements cmd/fomodeld: the HTTP model-serving daemon. It
+// binds the listen address, serves until ctx is canceled (the main wires
+// SIGINT/SIGTERM into ctx), then shuts down gracefully, draining
+// in-flight requests — running sweeps included — for up to the -drain
+// timeout. Structured JSON logs go to out.
+func Fomodeld(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fomodeld", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", "127.0.0.1:8750", "listen address")
+	n := fs.Int("n", 500000, "default dynamic instructions per workload")
+	seed := fs.Uint64("seed", 1, "default workload generation seed")
+	parallel := fs.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	inflight := fs.Int("max-inflight", 0, "concurrent API requests before 429 shedding (0 = 2×GOMAXPROCS)")
+	cacheEntries := fs.Int("cache", 1024, "response cache capacity in entries")
+	reqTimeout := fs.Duration("request-timeout", 2*time.Minute, "per-request computation deadline")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("fomodeld: unexpected argument %q", fs.Arg(0))
+	}
+
+	logger := slog.New(slog.NewJSONHandler(out, nil))
+	srv := server.New(server.Config{
+		N:              *n,
+		Seed:           *seed,
+		Workers:        *parallel,
+		MaxInflight:    *inflight,
+		CacheEntries:   *cacheEntries,
+		RequestTimeout: *reqTimeout,
+	}, logger)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	logger.Info("fomodeld listening", "addr", ln.Addr().String(), "n", *n, "seed", *seed)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down, draining in-flight requests", "timeout", (*drain).String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("fomodeld: drain incomplete: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Info("fomodeld stopped")
+	return nil
+}

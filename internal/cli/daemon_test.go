@@ -1,0 +1,103 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read the daemon's log while the serve
+// goroutine writes it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenAddrRE = regexp.MustCompile(`"msg":"fomodeld listening","addr":"([^"]+)"`)
+
+// TestFomodeldLifecycle boots the daemon on an ephemeral port, serves a
+// request, and shuts it down gracefully via context cancellation — the
+// same path a SIGINT takes through cmd/fomodeld.
+func TestFomodeldLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- Fomodeld(ctx, []string{"-addr", "127.0.0.1:0", "-n", "20000"}, &out)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never logged its listen address; log:\n%s", out.String())
+		}
+		if m := listenAddrRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status = %d, body: %s", resp.StatusCode, body)
+	}
+	var h struct {
+		Status string `json:"status"`
+		N      int    `json:"n"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.N != 20000 {
+		t.Errorf("healthz = %+v, want status ok with n=20000", h)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down within 10s of cancellation")
+	}
+	if !strings.Contains(out.String(), "fomodeld stopped") {
+		t.Errorf("log missing the clean-shutdown line:\n%s", out.String())
+	}
+}
+
+// TestFomodeldRejectsArgs pins the flag surface: positional arguments
+// are a usage error, not silently ignored.
+func TestFomodeldRejectsArgs(t *testing.T) {
+	err := Fomodeld(context.Background(), []string{"gzip"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "unexpected argument") {
+		t.Fatalf("err = %v, want unexpected-argument error", err)
+	}
+}

@@ -7,6 +7,30 @@ import (
 	"testing"
 )
 
+// compareGolden checks got against the named golden file, rewriting it
+// under -update.
+func compareGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s output changed; rerun with -update if intentional.\ngot:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 // The purely analytic experiments (no workload generation involved) must
@@ -34,25 +58,31 @@ func TestGoldenAnalyticFigures(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := res.Render()
-			path := filepath.Join("testdata", tc.name+".golden")
-			if *updateGolden {
-				if err := os.MkdirAll("testdata", 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
-			}
-			want, err := os.ReadFile(path)
+			compareGolden(t, tc.name, res.Render())
+		})
+	}
+}
+
+// TestGoldenSweeps locks down both renderings (aligned table and CSV) of
+// the two simulator-validated sweep experiments at a fixed small trace
+// length, pinning the exact bytes /v1/sweep and cmd/experiments emit.
+func TestGoldenSweeps(t *testing.T) {
+	s := NewSuite(60000, 1)
+	cases := []struct {
+		name string
+		run  func(*Suite) (*SweepResult, error)
+	}{
+		{"sweep-window", WindowSweep},
+		{"sweep-rob", ROBSweep},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := tc.run(s)
 			if err != nil {
-				t.Fatalf("missing golden file (run with -update): %v", err)
+				t.Fatal(err)
 			}
-			if got != string(want) {
-				t.Errorf("%s render changed; rerun with -update if intentional.\ngot:\n%s\nwant:\n%s",
-					tc.name, got, want)
-			}
+			compareGolden(t, tc.name, res.Render())
+			compareGolden(t, tc.name+".csv", res.CSV())
 		})
 	}
 }

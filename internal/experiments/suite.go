@@ -9,11 +9,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"fomodel/internal/core"
 	"fomodel/internal/iw"
+	"fomodel/internal/metrics"
 	"fomodel/internal/stats"
 	"fomodel/internal/trace"
 	"fomodel/internal/uarch"
@@ -53,9 +53,11 @@ type Suite struct {
 	// share one functional pass per distinct classification key.
 	preps *uarch.PrepCache
 	// workloadComputes and simRuns count the suite's two expensive
-	// operations (see Counters).
-	workloadComputes atomic.Int64
-	simRuns          atomic.Int64
+	// operations (see Counters). They use the shared metrics counter type
+	// so the CLI's -timing report and the daemon's /metrics endpoint read
+	// the same source.
+	workloadComputes metrics.Counter
+	simRuns          metrics.Counter
 }
 
 // workloadEntry is one single-flight cache slot: the first caller runs
@@ -114,6 +116,18 @@ func (s *Suite) PrepCounters() (hits, misses int64) {
 	return s.preps.Stats()
 }
 
+// Preps exposes the suite's classification cache so callers that run the
+// simulator outside Suite.Simulate (the serving daemon's predict path)
+// can share its memoized functional passes and its hit/miss counters.
+// Nil when the suite was built without NewSuite.
+func (s *Suite) Preps() *uarch.PrepCache { return s.preps }
+
+// CounterSources exposes the live workload-analysis and simulator-run
+// counters for metrics exporters; the values always match Counters.
+func (s *Suite) CounterSources() (workloads, simulations *metrics.Counter) {
+	return &s.workloadComputes, &s.simRuns
+}
+
 // Workload returns the cached analysis bundle for name, computing it on
 // first use. Concurrent callers for the same name block on a single
 // computation and share its result.
@@ -126,7 +140,7 @@ func (s *Suite) Workload(name string) (*Workload, error) {
 	}
 	s.mu.Unlock()
 	e.once.Do(func() {
-		s.workloadComputes.Add(1)
+		s.workloadComputes.Inc()
 		start := time.Now()
 		e.w, e.err = s.computeWorkload(name)
 		s.Timings.Record("workload", name, time.Since(start))
@@ -227,7 +241,7 @@ func (s *Suite) Simulate(w *Workload, mutate func(*uarch.Config)) (*uarch.Result
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	s.simRuns.Add(1)
+	s.simRuns.Inc()
 	return s.preps.Simulate(w.Trace, cfg)
 }
 

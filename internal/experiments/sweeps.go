@@ -1,30 +1,34 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sort"
+	"strings"
 
 	"fomodel/internal/core"
 	"fomodel/internal/stats"
 	"fomodel/internal/uarch"
+	"fomodel/internal/workload"
 )
 
 // SweepPoint is one (parameter value, benchmark) sample of a machine
 // sweep.
 type SweepPoint struct {
-	Bench    string
-	Value    int
-	SimCPI   float64
-	ModelCPI float64
-	Err      float64
+	Bench    string  `json:"bench"`
+	Value    int     `json:"value"`
+	SimCPI   float64 `json:"sim_cpi"`
+	ModelCPI float64 `json:"model_cpi"`
+	Err      float64 `json:"err"`
 }
 
 // SweepResult is a machine-parameter sweep validating the model across a
 // dimension the paper varies analytically.
 type SweepResult struct {
-	Title      string
-	Param      string
-	Points     []SweepPoint
-	MeanAbsErr float64
+	Title      string       `json:"title"`
+	Param      string       `json:"param"`
+	Points     []SweepPoint `json:"points"`
+	MeanAbsErr float64      `json:"mean_abs_err"`
 }
 
 // tab builds the result table.
@@ -55,6 +59,110 @@ func (r *SweepResult) finish() {
 	}
 }
 
+// SweepSpec describes a design-space sweep over one machine parameter:
+// every benchmark in Benches is run (simulator and model) at every value
+// in Values, with the suite's baseline machine supplying the remaining
+// parameters. It is the request shape shared by the built-in sweep
+// experiments and the serving daemon's /v1/sweep endpoint.
+type SweepSpec struct {
+	// Title heads the rendered table; empty derives one from Param and
+	// Benches.
+	Title string `json:"title,omitempty"`
+	// Param names the swept dimension; see SweepParams.
+	Param string `json:"param"`
+	// Benches lists the workloads, in report order.
+	Benches []string `json:"benches"`
+	// Values lists the parameter values, in report order.
+	Values []int `json:"values"`
+}
+
+// sweepCell computes one (benchmark, value) grid cell.
+type sweepCell func(s *Suite, w *Workload, v int) (SweepPoint, error)
+
+// sweepCells maps each supported parameter to its cell computation. The
+// window and ROB cells re-derive the model inputs that depend on the
+// swept size (the measured IW point and the equation-(8) miss grouping
+// respectively); width and depth only move timing-side machine
+// parameters, so the cached workload inputs are reused as-is.
+var sweepCells = map[string]sweepCell{
+	"window": windowCell,
+	"rob":    robCell,
+	"width":  widthCell,
+	"depth":  depthCell,
+}
+
+// SweepParams returns the supported sweep parameter names, sorted.
+func SweepParams() []string {
+	params := make([]string, 0, len(sweepCells))
+	for p := range sweepCells {
+		params = append(params, p)
+	}
+	sort.Strings(params)
+	return params
+}
+
+// Validate reports the first structural problem with the spec.
+func (sp SweepSpec) Validate() error {
+	if _, ok := sweepCells[sp.Param]; !ok {
+		return fmt.Errorf("experiments: unknown sweep parameter %q (known: %s)",
+			sp.Param, strings.Join(SweepParams(), ", "))
+	}
+	if len(sp.Benches) == 0 {
+		return fmt.Errorf("experiments: sweep needs at least one benchmark")
+	}
+	for _, b := range sp.Benches {
+		if _, err := workload.ByName(b); err != nil {
+			return err
+		}
+	}
+	if len(sp.Values) == 0 {
+		return fmt.Errorf("experiments: sweep needs at least one %s value", sp.Param)
+	}
+	for _, v := range sp.Values {
+		if v < 1 {
+			return fmt.Errorf("experiments: sweep value %d < 1", v)
+		}
+	}
+	return nil
+}
+
+// Sweep runs the spec's bench × value grid concurrently (bounded by
+// s.Workers) and collects the points in grid order, so any worker count
+// produces an identical result. Cancelling ctx stops the sweep at the
+// next grid cell; started cells run to completion but their results are
+// discarded.
+func Sweep(ctx context.Context, s *Suite, spec SweepSpec) (*SweepResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	title := spec.Title
+	if title == "" {
+		title = fmt.Sprintf("Design-space sweep: %s across %s",
+			spec.Param, strings.Join(spec.Benches, ", "))
+	}
+	res := &SweepResult{Title: title, Param: spec.Param}
+	cell := sweepCells[spec.Param]
+	jobs := sweepGrid(spec.Benches, spec.Values)
+	err := RunOrdered(s.workers(), len(jobs), func(i int) (SweepPoint, error) {
+		if err := ctx.Err(); err != nil {
+			return SweepPoint{}, err
+		}
+		w, err := s.Workload(jobs[i].bench)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		return cell(s, w, jobs[i].value)
+	}, func(_ int, pt SweepPoint) error {
+		res.Points = append(res.Points, pt)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.finish()
+	return res, nil
+}
+
 // sweepJob is one (benchmark, parameter value) cell of a sweep grid.
 type sweepJob struct {
 	bench string
@@ -73,25 +181,125 @@ func sweepGrid(benches []string, values []int) []sweepJob {
 	return jobs
 }
 
-// runSweep executes every grid cell concurrently (bounded by s.Workers)
-// and collects the points in grid order.
-func runSweep(s *Suite, res *SweepResult, jobs []sweepJob,
-	cell func(*Workload, int) (SweepPoint, error)) (*SweepResult, error) {
-	err := RunOrdered(s.workers(), len(jobs), func(i int) (SweepPoint, error) {
-		w, err := s.Workload(jobs[i].bench)
-		if err != nil {
-			return SweepPoint{}, err
+// windowCell shrinks or grows the issue window, re-deriving the measured
+// steady-state IW point at the new size (the ROB is bumped when it would
+// fall below the window).
+func windowCell(s *Suite, w *Workload, win int) (SweepPoint, error) {
+	var zero SweepPoint
+	sim, err := s.Simulate(w, func(c *uarch.Config) {
+		c.WindowSize = win
+		if c.ROBSize < win {
+			c.ROBSize = win
 		}
-		return cell(w, jobs[i].value)
-	}, func(_ int, pt SweepPoint) error {
-		res.Points = append(res.Points, pt)
-		return nil
 	})
 	if err != nil {
-		return nil, err
+		return zero, err
 	}
-	res.finish()
-	return res, nil
+	m := s.Machine
+	m.WindowSize = win
+	if m.ROBSize < win {
+		m.ROBSize = win
+	}
+	// Re-derive the measured steady point at this window size.
+	in, err := core.InputsFromCurve(w.Law, w.Points, win, w.Summary)
+	if err != nil {
+		return zero, err
+	}
+	est, err := m.Estimate(in, modelOptions())
+	if err != nil {
+		return zero, err
+	}
+	return SweepPoint{
+		Bench:    w.Name,
+		Value:    win,
+		SimCPI:   sim.CPI(),
+		ModelCPI: est.CPI,
+		Err:      relErr(est.CPI, sim.CPI()),
+	}, nil
+}
+
+// robCell resizes the reorder buffer, re-analyzing the trace so the
+// equation-(8) long-miss grouping uses the new horizon.
+func robCell(s *Suite, w *Workload, rob int) (SweepPoint, error) {
+	var zero SweepPoint
+	sim, err := s.Simulate(w, func(c *uarch.Config) { c.ROBSize = rob })
+	if err != nil {
+		return zero, err
+	}
+	// Re-analyze with the new grouping horizon.
+	scfg := stats.DefaultConfig()
+	scfg.Hierarchy = s.Sim.Hierarchy
+	scfg.PredictorBits = s.Sim.PredictorBits
+	scfg.Latencies = s.Sim.Latencies
+	scfg.ROBSize = rob
+	scfg.Warmup = s.Sim.Warmup
+	sum, err := stats.Analyze(w.Trace, scfg)
+	if err != nil {
+		return zero, err
+	}
+	m := s.Machine
+	m.ROBSize = rob
+	in, err := core.InputsFromCurve(w.Law, w.Points, m.WindowSize, sum)
+	if err != nil {
+		return zero, err
+	}
+	est, err := m.Estimate(in, modelOptions())
+	if err != nil {
+		return zero, err
+	}
+	return SweepPoint{
+		Bench:    w.Name,
+		Value:    rob,
+		SimCPI:   sim.CPI(),
+		ModelCPI: est.CPI,
+		Err:      relErr(est.CPI, sim.CPI()),
+	}, nil
+}
+
+// widthCell varies the fetch/dispatch/issue/retire width; the workload
+// inputs are width-independent, so the cached bundle is reused.
+func widthCell(s *Suite, w *Workload, width int) (SweepPoint, error) {
+	var zero SweepPoint
+	sim, err := s.Simulate(w, func(c *uarch.Config) { c.Width = width })
+	if err != nil {
+		return zero, err
+	}
+	m := s.Machine
+	m.Width = width
+	est, err := m.Estimate(w.Inputs, modelOptions())
+	if err != nil {
+		return zero, err
+	}
+	return SweepPoint{
+		Bench:    w.Name,
+		Value:    width,
+		SimCPI:   sim.CPI(),
+		ModelCPI: est.CPI,
+		Err:      relErr(est.CPI, sim.CPI()),
+	}, nil
+}
+
+// depthCell varies the front-end pipeline depth ΔP, which only moves the
+// branch misprediction penalty.
+func depthCell(s *Suite, w *Workload, depth int) (SweepPoint, error) {
+	var zero SweepPoint
+	sim, err := s.Simulate(w, func(c *uarch.Config) { c.FrontEndDepth = depth })
+	if err != nil {
+		return zero, err
+	}
+	m := s.Machine
+	m.FrontEndDepth = depth
+	est, err := m.Estimate(w.Inputs, modelOptions())
+	if err != nil {
+		return zero, err
+	}
+	return SweepPoint{
+		Bench:    w.Name,
+		Value:    depth,
+		SimCPI:   sim.CPI(),
+		ModelCPI: est.CPI,
+		Err:      relErr(est.CPI, sim.CPI()),
+	}, nil
 }
 
 // WindowSweep validates the steady-state model through the knee of the IW
@@ -99,43 +307,11 @@ func runSweep(s *Suite, res *SweepResult, jobs []sweepJob,
 // width clip) sets the background IPC. Three benchmarks spanning the beta
 // range, windows 8–96.
 func WindowSweep(s *Suite) (*SweepResult, error) {
-	res := &SweepResult{
-		Title: "Window sweep: steady state through the IW-curve knee",
-		Param: "window",
-	}
-	jobs := sweepGrid([]string{"gzip", "vortex", "vpr"}, []int{8, 16, 32, 48, 96})
-	return runSweep(s, res, jobs, func(w *Workload, win int) (SweepPoint, error) {
-		var zero SweepPoint
-		sim, err := s.Simulate(w, func(c *uarch.Config) {
-			c.WindowSize = win
-			if c.ROBSize < win {
-				c.ROBSize = win
-			}
-		})
-		if err != nil {
-			return zero, err
-		}
-		m := s.Machine
-		m.WindowSize = win
-		if m.ROBSize < win {
-			m.ROBSize = win
-		}
-		// Re-derive the measured steady point at this window size.
-		in, err := core.InputsFromCurve(w.Law, w.Points, win, w.Summary)
-		if err != nil {
-			return zero, err
-		}
-		est, err := m.Estimate(in, modelOptions())
-		if err != nil {
-			return zero, err
-		}
-		return SweepPoint{
-			Bench:    w.Name,
-			Value:    win,
-			SimCPI:   sim.CPI(),
-			ModelCPI: est.CPI,
-			Err:      relErr(est.CPI, sim.CPI()),
-		}, nil
+	return Sweep(context.Background(), s, SweepSpec{
+		Title:   "Window sweep: steady state through the IW-curve knee",
+		Param:   "window",
+		Benches: []string{"gzip", "vortex", "vpr"},
+		Values:  []int{8, 16, 32, 48, 96},
 	})
 }
 
@@ -144,44 +320,10 @@ func WindowSweep(s *Suite) (*SweepResult, error) {
 // the d-miss CPI — must be re-derived per size. The d-miss-heavy
 // benchmarks are the sensitive ones.
 func ROBSweep(s *Suite) (*SweepResult, error) {
-	res := &SweepResult{
-		Title: "ROB sweep: equation (8) overlap across reorder-buffer sizes",
-		Param: "rob",
-	}
-	jobs := sweepGrid([]string{"mcf", "twolf", "gap"}, []int{48, 96, 128, 256})
-	return runSweep(s, res, jobs, func(w *Workload, rob int) (SweepPoint, error) {
-		var zero SweepPoint
-		sim, err := s.Simulate(w, func(c *uarch.Config) { c.ROBSize = rob })
-		if err != nil {
-			return zero, err
-		}
-		// Re-analyze with the new grouping horizon.
-		scfg := stats.DefaultConfig()
-		scfg.Hierarchy = s.Sim.Hierarchy
-		scfg.PredictorBits = s.Sim.PredictorBits
-		scfg.Latencies = s.Sim.Latencies
-		scfg.ROBSize = rob
-		scfg.Warmup = s.Sim.Warmup
-		sum, err := stats.Analyze(w.Trace, scfg)
-		if err != nil {
-			return zero, err
-		}
-		m := s.Machine
-		m.ROBSize = rob
-		in, err := core.InputsFromCurve(w.Law, w.Points, m.WindowSize, sum)
-		if err != nil {
-			return zero, err
-		}
-		est, err := m.Estimate(in, modelOptions())
-		if err != nil {
-			return zero, err
-		}
-		return SweepPoint{
-			Bench:    w.Name,
-			Value:    rob,
-			SimCPI:   sim.CPI(),
-			ModelCPI: est.CPI,
-			Err:      relErr(est.CPI, sim.CPI()),
-		}, nil
+	return Sweep(context.Background(), s, SweepSpec{
+		Title:   "ROB sweep: equation (8) overlap across reorder-buffer sizes",
+		Param:   "rob",
+		Benches: []string{"mcf", "twolf", "gap"},
+		Values:  []int{48, 96, 128, 256},
 	})
 }

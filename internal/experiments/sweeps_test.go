@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSweepValidate(t *testing.T) {
+	good := SweepSpec{Param: "width", Benches: []string{"gzip"}, Values: []int{2, 4}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []SweepSpec{
+		{Param: "bogus", Benches: []string{"gzip"}, Values: []int{2}},
+		{Param: "width", Benches: nil, Values: []int{2}},
+		{Param: "width", Benches: []string{"nonsense"}, Values: []int{2}},
+		{Param: "width", Benches: []string{"gzip"}, Values: nil},
+		{Param: "width", Benches: []string{"gzip"}, Values: []int{0}},
+	}
+	for i, sp := range cases {
+		if err := sp.Validate(); err == nil {
+			t.Fatalf("case %d: invalid spec %+v accepted", i, sp)
+		}
+	}
+}
+
+func TestSweepParams(t *testing.T) {
+	params := strings.Join(SweepParams(), ",")
+	for _, want := range []string{"window", "rob", "width", "depth"} {
+		if !strings.Contains(params, want) {
+			t.Fatalf("parameter %q missing from %s", want, params)
+		}
+	}
+}
+
+// TestSweepCanceled is the serving daemon's client-disconnect guarantee
+// at the engine level: a canceled context stops the sweep before any grid
+// cell computes.
+func TestSweepCanceled(t *testing.T) {
+	s := smallSuite()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Sweep(ctx, s, SweepSpec{
+		Param: "width", Benches: []string{"gzip", "mcf"}, Values: []int{2, 4, 8},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, sims := s.Counters(); sims != 0 {
+		t.Fatalf("canceled sweep still ran %d simulations", sims)
+	}
+}
+
+func TestSweepWidthAndDepth(t *testing.T) {
+	s := smallSuite()
+	for _, param := range []string{"width", "depth"} {
+		res, err := Sweep(context.Background(), s, SweepSpec{
+			Param: param, Benches: []string{"gzip"}, Values: []int{2, 4},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", param, err)
+		}
+		if len(res.Points) != 2 {
+			t.Fatalf("%s: %d points, want 2", param, len(res.Points))
+		}
+		for i, want := range []int{2, 4} {
+			p := res.Points[i]
+			if p.Value != want || p.SimCPI <= 0 || p.ModelCPI <= 0 {
+				t.Fatalf("%s: bad point %+v", param, p)
+			}
+		}
+		if res.Points[0].SimCPI <= res.Points[1].SimCPI && param == "width" {
+			t.Fatalf("width 2 should be slower than width 4: %+v", res.Points)
+		}
+		if res.Title == "" || !strings.Contains(res.Render(), param) {
+			t.Fatalf("%s: render missing param:\n%s", param, res.Render())
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"fomodel/internal/metrics"
+)
+
+// respCache is the daemon's canonical-request response cache: finished
+// response bodies keyed by the canonicalized request, bounded LRU, with
+// single-flight admission — concurrent requests for the same key block
+// on one computation and share its bytes. It layers on top of the
+// simulator's prep cache: a response hit skips everything, a response
+// miss still reuses cached classification passes underneath.
+//
+// Only successful (HTTP 200) responses are retained; errors and non-200
+// statuses are delivered to every request already waiting on the entry
+// (shared fate, like singleflight) and then forgotten, so a canceled or
+// failed computation never poisons later requests.
+type respCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*respEntry
+	order   *list.List // front = most recently used
+
+	hits, misses metrics.Counter
+}
+
+type respEntry struct {
+	key  string
+	elem *list.Element
+	done chan struct{}
+
+	status int
+	body   []byte
+	err    error
+}
+
+func newRespCache(capacity int) *respCache {
+	return &respCache{
+		cap:     capacity,
+		entries: make(map[string]*respEntry),
+		order:   list.New(),
+	}
+}
+
+// Do returns the cached response for key, or runs compute once and
+// caches its result. hit reports whether the response came from the
+// cache (including joining a computation already in flight — the request
+// performed no work of its own).
+func (c *respCache) Do(key string, compute func() (status int, body []byte, err error)) (status int, body []byte, hit bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.order.MoveToFront(e.elem)
+		c.mu.Unlock()
+		<-e.done
+		c.hits.Inc()
+		return e.status, e.body, true, e.err
+	}
+	e := &respEntry{key: key, done: make(chan struct{})}
+	e.elem = c.order.PushFront(e)
+	c.entries[key] = e
+	for len(c.entries) > c.cap {
+		oldest := c.order.Back().Value.(*respEntry)
+		c.order.Remove(oldest.elem)
+		delete(c.entries, oldest.key)
+	}
+	c.mu.Unlock()
+
+	c.misses.Inc()
+	e.status, e.body, e.err = compute()
+	close(e.done)
+	if e.err != nil || e.status != 200 {
+		c.mu.Lock()
+		if c.entries[key] == e {
+			c.order.Remove(e.elem)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.status, e.body, false, e.err
+}
+
+// Len returns the number of cached entries (including in-flight ones).
+func (c *respCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns the hit and miss counts.
+func (c *respCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

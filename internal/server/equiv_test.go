@@ -1,0 +1,110 @@
+// The tests here live in the external test package so they can import
+// internal/cli (which itself imports internal/server) without a cycle:
+// they pin the PR's central invariant, that a daemon response is
+// byte-equivalent in content to the corresponding CLI run.
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fomodel/internal/cli"
+	"fomodel/internal/experiments"
+	"fomodel/internal/server"
+)
+
+const equivN = 30000
+
+// TestPredictMatchesCLI asserts that POST /v1/predict returns exactly
+// the bytes `fomodel -json` prints for the same workload and machine.
+func TestPredictMatchesCLI(t *testing.T) {
+	cases := []struct {
+		name    string
+		cliArgs []string
+		reqBody string
+	}{
+		{
+			"defaults with sim",
+			[]string{"-json", "-sim", "-n", "30000", "gzip"},
+			`{"bench":"gzip","sim":true}`,
+		},
+		{
+			"custom machine",
+			[]string{"-json", "-n", "30000", "-width", "8", "-window", "96", "-rob", "256", "-branch-mode", "isolated", "mcf"},
+			`{"bench":"mcf","machine":{"width":8,"window":96,"rob":256},"branch_mode":"isolated"}`,
+		},
+		{
+			"clustered with fu limits",
+			[]string{"-json", "-n", "30000", "-clusters", "2", "-bypass", "2", "-fu", "mul=1,load=2", "-tlb", "vortex"},
+			`{"bench":"vortex","machine":{"clusters":2,"bypass":2,"fu":"mul=1,load=2","tlb":true}}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var want bytes.Buffer
+			if err := cli.Fomodel(tc.cliArgs, &want); err != nil {
+				t.Fatalf("cli: %v", err)
+			}
+			srv := server.New(server.Config{N: equivN}, nil)
+			req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(tc.reqBody))
+			rec := httptest.NewRecorder()
+			srv.Handler().ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("server: status = %d\nbody: %s", rec.Code, rec.Body.String())
+			}
+			if !bytes.Equal(rec.Body.Bytes(), want.Bytes()) {
+				t.Errorf("server response differs from CLI output\nserver:\n%s\ncli:\n%s",
+					rec.Body.String(), want.String())
+			}
+		})
+	}
+}
+
+// TestSweepMatchesEngine asserts that POST /v1/sweep returns exactly
+// the table and CSV the experiments engine renders for the same spec.
+func TestSweepMatchesEngine(t *testing.T) {
+	spec := experiments.SweepSpec{
+		Param:   "width",
+		Benches: []string{"gzip", "mcf"},
+		Values:  []int{2, 4},
+	}
+	want, err := experiments.Sweep(context.Background(), experiments.NewSuite(equivN, 1), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := server.New(server.Config{N: equivN}, nil)
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("server: status = %d\nbody: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		experiments.SweepResult
+		Render string `json:"render"`
+		CSV    string `json:"csv"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Render != want.Render() {
+		t.Errorf("rendered table differs\nserver:\n%s\nengine:\n%s", resp.Render, want.Render())
+	}
+	if resp.CSV != want.CSV() {
+		t.Errorf("CSV differs\nserver:\n%s\nengine:\n%s", resp.CSV, want.CSV())
+	}
+	if len(resp.Points) != len(want.Points) || resp.MeanAbsErr != want.MeanAbsErr {
+		t.Errorf("structured points differ: %d points mean %g, want %d points mean %g",
+			len(resp.Points), resp.MeanAbsErr, len(want.Points), want.MeanAbsErr)
+	}
+}

@@ -1,0 +1,274 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"fomodel/internal/experiments"
+	"fomodel/internal/workload"
+)
+
+// Request sizes are bounded: every valid request body is a small JSON
+// object, so anything bigger is rejected before decoding.
+const maxBodyBytes = 1 << 16
+
+// Instruction-count bounds per request, keeping a single request's
+// memory and CPU within reason.
+const (
+	minTraceLen = 1000
+	maxTraceLen = 5_000_000
+)
+
+// decodeRequest parses a JSON request body strictly (unknown fields are
+// errors, as is trailing garbage).
+func decodeRequest(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %v", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("invalid request body: trailing data after the JSON object")
+	}
+	return nil
+}
+
+// encodeIndented marshals v exactly the way the CLI's -json mode does
+// (two-space indent, trailing newline), preserving byte equivalence
+// between a server response and the corresponding CLI output.
+func encodeIndented(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// PredictRequest asks for one workload's CPI stack on one machine.
+type PredictRequest struct {
+	// Bench names the workload profile.
+	Bench string `json:"bench"`
+	// N and Seed override the server's trace defaults when positive.
+	N    int    `json:"n,omitempty"`
+	Seed uint64 `json:"seed,omitempty"`
+	// Machine overrides baseline machine parameters.
+	Machine MachineSpec `json:"machine,omitempty"`
+	// BranchMode selects the branch penalty derivation
+	// (midpoint|isolated|measured; default midpoint).
+	BranchMode string `json:"branch_mode,omitempty"`
+	// Sim additionally runs the detailed simulator and reports its CPI.
+	Sim bool `json:"sim,omitempty"`
+}
+
+// normalize fills defaults and validates, returning an error fit for a
+// 400 response.
+func (req *PredictRequest) normalize(cfg Config) error {
+	if req.N == 0 {
+		req.N = cfg.N
+	}
+	if req.Seed == 0 {
+		req.Seed = cfg.Seed
+	}
+	if req.BranchMode == "" {
+		req.BranchMode = "midpoint"
+	}
+	if _, err := workload.ByName(req.Bench); err != nil {
+		return err
+	}
+	if req.N < minTraceLen || req.N > maxTraceLen {
+		return fmt.Errorf("n %d outside [%d, %d]", req.N, minTraceLen, maxTraceLen)
+	}
+	return nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	sw := w.(*statusWriter)
+	var req PredictRequest
+	if err := decodeRequest(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	if err := req.normalize(s.cfg); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	mode, err := ParseBranchMode(req.BranchMode)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	machine, err := req.Machine.Machine()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	ucfg, err := req.Machine.SimConfig()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	// Reject structurally invalid machines up front, so configuration
+	// mistakes are 400s and only genuine computation failures become 500s.
+	if err := machine.Validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	if err := ucfg.Validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+
+	key, err := cacheKey("predict", req)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "%s", err)
+		return
+	}
+	ctx := r.Context()
+	status, body, hit, err := s.cache.Do(key, func() (int, []byte, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
+		t, err := s.traceFor(req.Bench, req.N, req.Seed)
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
+		rec, err := Predict(t, machine, ucfg, mode, req.Sim, s.suite.Preps())
+		if err != nil {
+			return 0, nil, err
+		}
+		body, err := encodeIndented(rec)
+		if err != nil {
+			return 0, nil, err
+		}
+		return http.StatusOK, body, nil
+	})
+	s.finishCompute(sw, r, status, body, hit, err)
+}
+
+// SweepResponse is the /v1/sweep body: the structured sweep points plus
+// the rendered table and CSV, byte-identical to what cmd/experiments
+// prints for the same sweep.
+type SweepResponse struct {
+	*experiments.SweepResult
+	Render string `json:"render"`
+	CSV    string `json:"csv"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	sw := w.(*statusWriter)
+	var spec experiments.SweepSpec
+	if err := decodeRequest(r, &spec); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	if cells := len(spec.Benches) * len(spec.Values); cells > 256 {
+		s.writeError(w, http.StatusBadRequest, "sweep grid of %d cells exceeds the 256-cell limit", cells)
+		return
+	}
+	key, err := cacheKey("sweep", spec)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "%s", err)
+		return
+	}
+	ctx := r.Context()
+	status, body, hit, err := s.cache.Do(key, func() (int, []byte, error) {
+		res, err := experiments.Sweep(ctx, s.suite, spec)
+		if err != nil {
+			return 0, nil, err
+		}
+		body, err := encodeIndented(SweepResponse{
+			SweepResult: res,
+			Render:      res.Render(),
+			CSV:         res.CSV(),
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		return http.StatusOK, body, nil
+	})
+	s.finishCompute(sw, r, status, body, hit, err)
+}
+
+// WorkloadInfo is one benchmark's model-facing trace statistics, as
+// reported by /v1/workloads.
+type WorkloadInfo struct {
+	Name         string  `json:"name"`
+	Instructions int     `json:"instructions"`
+	Alpha        float64 `json:"alpha"`
+	Beta         float64 `json:"beta"`
+	R2           float64 `json:"r2"`
+	AvgLatency   float64 `json:"avg_latency"`
+	// BranchesPerInstr and MispredictRate describe the branch behaviour;
+	// the *PerKI rates are miss events per thousand instructions.
+	BranchesPerInstr float64 `json:"branches_per_instr"`
+	MispredictRate   float64 `json:"mispredict_rate"`
+	ICacheShortPerKI float64 `json:"icache_short_per_ki"`
+	ICacheLongPerKI  float64 `json:"icache_long_per_ki"`
+	DCacheShortPerKI float64 `json:"dcache_short_per_ki"`
+	DCacheLongPerKI  float64 `json:"dcache_long_per_ki"`
+	OverlapFactor    float64 `json:"overlap_factor"`
+}
+
+// WorkloadsResponse is the /v1/workloads body.
+type WorkloadsResponse struct {
+	N         int            `json:"n"`
+	Seed      uint64         `json:"seed"`
+	Workloads []WorkloadInfo `json:"workloads"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	sw := w.(*statusWriter)
+	status, body, hit, err := s.cache.Do("workloads", func() (int, []byte, error) {
+		infos, err := experiments.MapWorkloads(s.suite, func(wl *experiments.Workload) (WorkloadInfo, error) {
+			sum := wl.Summary
+			ki := float64(sum.Instructions) / 1000
+			return WorkloadInfo{
+				Name:             wl.Name,
+				Instructions:     sum.Instructions,
+				Alpha:            wl.Law.Alpha,
+				Beta:             wl.Law.Beta,
+				R2:               wl.Law.R2,
+				AvgLatency:       sum.AvgLatency,
+				BranchesPerInstr: float64(sum.Branches) / float64(sum.Instructions),
+				MispredictRate:   sum.MispredictRate(),
+				ICacheShortPerKI: float64(sum.ICacheShort) / ki,
+				ICacheLongPerKI:  float64(sum.ICacheLong) / ki,
+				DCacheShortPerKI: float64(sum.DCacheShort) / ki,
+				DCacheLongPerKI:  float64(sum.DCacheLong) / ki,
+				OverlapFactor:    sum.OverlapFactor(),
+			}, nil
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		body, err := encodeIndented(WorkloadsResponse{N: s.cfg.N, Seed: s.cfg.Seed, Workloads: infos})
+		if err != nil {
+			return 0, nil, err
+		}
+		return http.StatusOK, body, nil
+	})
+	s.finishCompute(sw, r, status, body, hit, err)
+}
+
+// cacheKey canonicalizes a request into its response-cache key: requests
+// that normalize to the same typed value share one entry regardless of
+// their original JSON spelling.
+func cacheKey(endpoint string, v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	return endpoint + "\x00" + string(b), nil
+}

@@ -1,0 +1,393 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"fomodel/internal/experiments"
+	"fomodel/internal/metrics"
+	"fomodel/internal/trace"
+	"fomodel/internal/workload"
+)
+
+// Config parameterizes the daemon. The zero value of every field selects
+// a production-shaped default.
+type Config struct {
+	// N is the default dynamic instruction count per workload and Seed
+	// the default generation seed; requests may override both. Defaults:
+	// 500000 and 1, matching the CLI tools.
+	N    int
+	Seed uint64
+	// Workers bounds the sweep fan-out pool (0 = GOMAXPROCS).
+	Workers int
+	// MaxInflight bounds concurrently executing /v1 requests; further
+	// requests are shed with 429 rather than queued (0 = 2×GOMAXPROCS).
+	MaxInflight int
+	// CacheEntries bounds the response cache (0 = 1024).
+	CacheEntries int
+	// RequestTimeout is the per-request computation deadline
+	// (0 = 2 minutes).
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.N == 0 {
+		c.N = 500000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// statusCodeClientGone is the nginx-convention code logged when the
+// client disconnected before a response could be written.
+const statusCodeClientGone = 499
+
+// Server is the fomodeld daemon: HTTP handlers plus the shared state
+// they serve from (the experiment suite with its workload and prep
+// caches, the response cache, and the metrics counters).
+type Server struct {
+	cfg   Config
+	log   *slog.Logger
+	suite *experiments.Suite
+	cache *respCache
+	start time.Time
+
+	inflight metrics.Gauge
+	shed     metrics.Counter
+	latency  *metrics.Histogram
+	slots    chan struct{}
+
+	reqMu    sync.Mutex
+	requests map[requestKey]*metrics.Counter
+
+	traceMu sync.Mutex
+	traces  map[traceKey]*traceEntry
+
+	// gate, when non-nil, blocks every admitted /v1 request until the
+	// channel yields; tests use it to hold requests in flight
+	// deterministically.
+	gate chan struct{}
+}
+
+type requestKey struct {
+	path string
+	code int
+}
+
+type traceKey struct {
+	bench string
+	n     int
+	seed  uint64
+}
+
+type traceEntry struct {
+	once sync.Once
+	t    *trace.Trace
+	err  error
+}
+
+// New builds a server. A nil logger discards logs.
+func New(cfg Config, log *slog.Logger) *Server {
+	cfg = cfg.withDefaults()
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	suite := experiments.NewSuite(cfg.N, cfg.Seed)
+	suite.Workers = cfg.Workers
+	return &Server{
+		cfg:      cfg,
+		log:      log,
+		suite:    suite,
+		cache:    newRespCache(cfg.CacheEntries),
+		start:    time.Now(),
+		latency:  metrics.NewHistogram(metrics.DefaultLatencyBounds()...),
+		slots:    make(chan struct{}, cfg.MaxInflight),
+		requests: make(map[requestKey]*metrics.Counter),
+		traces:   make(map[traceKey]*traceEntry),
+	}
+}
+
+// Handler returns the daemon's routing table. /v1 endpoints pass through
+// admission control (in-flight bound with 429 shedding) and carry a
+// per-request deadline; /healthz and /metrics always answer.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", s.instrument("/v1/predict", true, s.handlePredict))
+	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", true, s.handleSweep))
+	mux.HandleFunc("GET /v1/workloads", s.instrument("/v1/workloads", true, s.handleWorkloads))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", false, s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", false, s.handleMetrics))
+	return mux
+}
+
+// statusWriter records the status code a handler wrote (or 499 when the
+// client vanished first).
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps a handler with admission control (when limited),
+// per-request deadline, the latency histogram, per-path/per-code request
+// counters, and one structured log line per request.
+func (s *Server) instrument(path string, limited bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		startReq := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		if limited {
+			select {
+			case s.slots <- struct{}{}:
+				s.inflight.Add(1)
+				defer func() {
+					<-s.slots
+					s.inflight.Add(-1)
+				}()
+			default:
+				s.shed.Inc()
+				w.Header().Set("Retry-After", "1")
+				s.writeError(sw, http.StatusTooManyRequests,
+					"server saturated: %d requests already in flight", s.cfg.MaxInflight)
+				s.finish(path, sw, startReq, "")
+				return
+			}
+			if s.gate != nil {
+				<-s.gate
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(sw, r)
+		s.finish(path, sw, startReq, w.Header().Get("X-Cache"))
+	}
+}
+
+// finish records the request in the metrics and the structured log.
+func (s *Server) finish(path string, sw *statusWriter, start time.Time, cacheState string) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	elapsed := time.Since(start)
+	s.latency.Observe(elapsed.Seconds())
+	s.requestCounter(path, sw.code).Inc()
+	attrs := []any{
+		"path", path,
+		"status", sw.code,
+		"dur_ms", elapsed.Milliseconds(),
+		"bytes", sw.bytes,
+	}
+	if cacheState != "" {
+		attrs = append(attrs, "cache", cacheState)
+	}
+	s.log.Info("request", attrs...)
+}
+
+// requestCounter returns the live counter for one (path, status) pair.
+func (s *Server) requestCounter(path string, code int) *metrics.Counter {
+	s.reqMu.Lock()
+	defer s.reqMu.Unlock()
+	k := requestKey{path: path, code: code}
+	c := s.requests[k]
+	if c == nil {
+		c = &metrics.Counter{}
+		s.requests[k] = c
+	}
+	return c
+}
+
+// errorResponse is the structured error body of every non-200 response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	body, _ := json.Marshal(errorResponse{Error: fmt.Sprintf(format, args...)})
+	w.Write(append(body, '\n'))
+}
+
+// finishCompute maps a computation outcome onto the response: 200 bodies
+// are written as-is, context errors become 499 (client gone, nothing
+// written) or 503 (deadline), and other failures pass through with their
+// computed status.
+func (s *Server) finishCompute(w *statusWriter, r *http.Request, status int, body []byte, hit bool, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		// The client disconnected; there is no one to write to. Record
+		// the conventional 499 for the log and metrics.
+		w.code = statusCodeClientGone
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, http.StatusServiceUnavailable,
+			"request exceeded the %s computation deadline", s.cfg.RequestTimeout)
+	case err != nil:
+		s.writeError(w, http.StatusInternalServerError, "%s", err)
+	default:
+		if hit {
+			w.Header().Set("X-Cache", "hit")
+		} else {
+			w.Header().Set("X-Cache", "miss")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		w.Write(body)
+	}
+}
+
+// traceFor returns the (bench, n, seed) trace, sharing the suite's
+// workload bundle when the request uses the server defaults (so predict,
+// sweep, and workload-listing traffic all hit one prep-cache keyspace)
+// and a dedicated single-flight trace cache otherwise.
+func (s *Server) traceFor(bench string, n int, seed uint64) (*trace.Trace, error) {
+	if n == s.cfg.N && seed == s.cfg.Seed {
+		w, err := s.suite.Workload(bench)
+		if err != nil {
+			return nil, err
+		}
+		return w.Trace, nil
+	}
+	k := traceKey{bench: bench, n: n, seed: seed}
+	s.traceMu.Lock()
+	e, ok := s.traces[k]
+	if !ok {
+		e = &traceEntry{}
+		s.traces[k] = e
+	}
+	s.traceMu.Unlock()
+	e.once.Do(func() { e.t, e.err = workload.Generate(bench, n, seed) })
+	return e.t, e.err
+}
+
+// healthzResponse is the /healthz body.
+type healthzResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workloads     int     `json:"workloads"`
+	N             int     `json:"n"`
+	Seed          uint64  `json:"seed"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(healthzResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workloads:     len(workload.Names()),
+		N:             s.cfg.N,
+		Seed:          s.cfg.Seed,
+	})
+}
+
+// handleMetrics renders every counter in the Prometheus text exposition
+// format. The prep-cache and suite counters are the very same
+// metrics.Counter values the CLI's -timing flag prints — one counter
+// type, one source, two surfaces.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+
+	fmt.Fprintf(w, "# HELP fomodeld_uptime_seconds Time since the server started.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "fomodeld_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP fomodeld_requests_total Requests served, by path and status code.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_requests_total counter\n")
+	s.reqMu.Lock()
+	keys := make([]requestKey, 0, len(s.requests))
+	for k := range s.requests {
+		keys = append(keys, k)
+	}
+	s.reqMu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].path != keys[j].path {
+			return keys[i].path < keys[j].path
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "fomodeld_requests_total{path=%q,code=\"%d\"} %d\n",
+			k.path, k.code, s.requestCounter(k.path, k.code).Load())
+	}
+
+	fmt.Fprintf(w, "# HELP fomodeld_requests_in_flight API requests currently executing.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_requests_in_flight gauge\n")
+	fmt.Fprintf(w, "fomodeld_requests_in_flight %d\n", s.inflight.Load())
+
+	fmt.Fprintf(w, "# HELP fomodeld_requests_shed_total Requests rejected with 429 by the in-flight limiter.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_requests_shed_total counter\n")
+	fmt.Fprintf(w, "fomodeld_requests_shed_total %d\n", s.shed.Load())
+
+	cacheHits, cacheMisses := s.cache.Stats()
+	fmt.Fprintf(w, "# HELP fomodeld_response_cache_hits_total Responses served from the canonical-request cache.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_response_cache_hits_total counter\n")
+	fmt.Fprintf(w, "fomodeld_response_cache_hits_total %d\n", cacheHits)
+	fmt.Fprintf(w, "# HELP fomodeld_response_cache_misses_total Responses computed because the cache had no entry.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_response_cache_misses_total counter\n")
+	fmt.Fprintf(w, "fomodeld_response_cache_misses_total %d\n", cacheMisses)
+	fmt.Fprintf(w, "# HELP fomodeld_response_cache_entries Entries currently cached.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_response_cache_entries gauge\n")
+	fmt.Fprintf(w, "fomodeld_response_cache_entries %d\n", s.cache.Len())
+
+	prepHits, prepMisses := s.suite.Preps().Counters()
+	fmt.Fprintf(w, "# HELP fomodeld_prep_cache_reuses_total Simulator runs that reused a cached classification pass.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_prep_cache_reuses_total counter\n")
+	fmt.Fprintf(w, "fomodeld_prep_cache_reuses_total %d\n", prepHits.Load())
+	fmt.Fprintf(w, "# HELP fomodeld_prep_cache_passes_total Classification passes computed.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_prep_cache_passes_total counter\n")
+	fmt.Fprintf(w, "fomodeld_prep_cache_passes_total %d\n", prepMisses.Load())
+
+	workloads, sims := s.suite.CounterSources()
+	fmt.Fprintf(w, "# HELP fomodeld_workload_analyses_total Workload analysis bundles computed.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_workload_analyses_total counter\n")
+	fmt.Fprintf(w, "fomodeld_workload_analyses_total %d\n", workloads.Load())
+	fmt.Fprintf(w, "# HELP fomodeld_sim_runs_total Detailed simulator runs.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_sim_runs_total counter\n")
+	fmt.Fprintf(w, "fomodeld_sim_runs_total %d\n", sims.Load())
+
+	snap := s.latency.Snapshot()
+	fmt.Fprintf(w, "# HELP fomodeld_request_duration_seconds Request latency.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_request_duration_seconds histogram\n")
+	for i, bound := range snap.Bounds {
+		fmt.Fprintf(w, "fomodeld_request_duration_seconds_bucket{le=\"%g\"} %d\n", bound, snap.Cumulative[i])
+	}
+	fmt.Fprintf(w, "fomodeld_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", snap.Count)
+	fmt.Fprintf(w, "fomodeld_request_duration_seconds_sum %.6f\n", snap.Sum)
+	fmt.Fprintf(w, "fomodeld_request_duration_seconds_count %d\n", snap.Count)
+}

@@ -3,9 +3,9 @@ package uarch
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"fomodel/internal/cache"
+	"fomodel/internal/metrics"
 	"fomodel/internal/predictor"
 	"fomodel/internal/trace"
 )
@@ -102,7 +102,10 @@ type PrepCache struct {
 	preps map[prepsKey]*prepsEntry
 	prods map[*trace.Trace]*prodEntry
 
-	hits, misses atomic.Int64
+	// hits and misses use the shared metrics counter type so the CLI's
+	// -timing report and the daemon's /metrics endpoint read the same
+	// source (see Counters).
+	hits, misses metrics.Counter
 }
 
 // NewPrepCache returns an empty cache.
@@ -145,9 +148,9 @@ func (pc *PrepCache) classified(t *trace.Trace, cfg Config) ([]prep, error) {
 	}
 	pc.mu.Unlock()
 	if ok {
-		pc.hits.Add(1)
+		pc.hits.Inc()
 	} else {
-		pc.misses.Add(1)
+		pc.misses.Inc()
 	}
 	e.once.Do(func() { e.preps, e.err = classify(t, cfg) })
 	return e.preps, e.err
@@ -176,4 +179,14 @@ func (pc *PrepCache) Stats() (hits, misses int64) {
 		return 0, 0
 	}
 	return pc.hits.Load(), pc.misses.Load()
+}
+
+// Counters exposes the live hit/miss counters themselves (not copies),
+// so a metrics exporter can register them once and always report the
+// same values Stats prints. Nil on a nil cache.
+func (pc *PrepCache) Counters() (hits, misses *metrics.Counter) {
+	if pc == nil {
+		return nil, nil
+	}
+	return &pc.hits, &pc.misses
 }

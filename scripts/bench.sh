@@ -1,16 +1,55 @@
 #!/usr/bin/env bash
 # bench.sh — run the suite's benchmarks and record ns/op + allocs/op.
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [output.json]   # library/experiment benchmarks
+#        scripts/bench.sh server [output] # fomodeld load benchmark
 #
-# Two stages: a -benchtime=1x smoke pass over every benchmark in the
-# repo (so a broken benchmark fails fast without a long timed run), then
-# timed passes over the experiment-level acceptance benchmarks and the
-# simulator/analyzer micro-benchmarks. Results land in BENCH_PR2.json
-# (or the given path) keyed by benchmark name, with the pre-PR-2
-# baseline and computed speedups for the two acceptance benchmarks.
+# Library mode runs two stages: a -benchtime=1x smoke pass over every
+# benchmark in the repo (so a broken benchmark fails fast without a long
+# timed run), then timed passes over the experiment-level acceptance
+# benchmarks and the simulator/analyzer micro-benchmarks. Results land
+# in BENCH_PR2.json (or the given path) keyed by benchmark name, with
+# the pre-PR-2 baseline and computed speedups for the two acceptance
+# benchmarks.
+#
+# Server mode drives the fomodeld handler chain end to end — cache-hot
+# and cache-cold /v1/predict plus a 12-cell /v1/sweep at 1 worker and at
+# GOMAXPROCS workers — and records req/sec and latency in BENCH_PR4.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "server" ]; then
+    out=${2:-BENCH_PR4.json}
+    tmp=$(mktemp)
+    trap 'rm -f "$tmp"' EXIT
+    echo "== timed: fomodeld load benchmarks" >&2
+    go test -run '^$' \
+        -bench 'BenchmarkPredictHot$|BenchmarkPredictCold$|BenchmarkSweepWorkers1$|BenchmarkSweepWorkersN$' \
+        -benchmem -benchtime=20x ./internal/server/ | tee "$tmp" >&2
+    awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v procs="$(nproc)" '
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        ns[name] = $3
+    }
+    END {
+        printf "{\n  \"generated\": \"%s\",\n  \"cpus\": %d,\n", date, procs
+        printf "  \"predict\": {\n"
+        printf "    \"cache_hot\":  {\"ns_per_req\": %d, \"req_per_sec\": %.0f},\n", \
+            ns["BenchmarkPredictHot"], 1e9 / ns["BenchmarkPredictHot"]
+        printf "    \"cache_cold\": {\"ns_per_req\": %d, \"req_per_sec\": %.1f},\n", \
+            ns["BenchmarkPredictCold"], 1e9 / ns["BenchmarkPredictCold"]
+        printf "    \"hot_over_cold\": %.0f\n  },\n", \
+            ns["BenchmarkPredictCold"] / ns["BenchmarkPredictHot"]
+        printf "  \"sweep_12_cells\": {\n"
+        printf "    \"workers_1\": {\"ns_per_req\": %d},\n", ns["BenchmarkSweepWorkers1"]
+        printf "    \"workers_n\": {\"ns_per_req\": %d},\n", ns["BenchmarkSweepWorkersN"]
+        printf "    \"parallel_speedup\": %.2f\n  }\n}\n", \
+            ns["BenchmarkSweepWorkers1"] / ns["BenchmarkSweepWorkersN"]
+    }' "$tmp" > "$out"
+    echo "wrote $out" >&2
+    exit 0
+fi
 
 out=${1:-BENCH_PR2.json}
 
