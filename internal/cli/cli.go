@@ -6,6 +6,7 @@
 package cli
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"fomodel/internal/client"
 	"fomodel/internal/core"
 	"fomodel/internal/isa"
 	"fomodel/internal/iw"
@@ -231,7 +233,11 @@ func Fosim(args []string, out io.Writer) error {
 }
 
 // Fomodel implements cmd/fomodel: the analytical model, optionally
-// validated against the simulator.
+// validated against the simulator. With -remote it computes nothing
+// locally: the workloads are evaluated by a fomodeld daemon through one
+// /v1/batch round trip, and the output — table or -json — is identical
+// to the local run's, because the daemon's per-item bodies are pinned
+// byte-equal to `fomodel -json` output.
 func Fomodel(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fomodel", flag.ContinueOnError)
 	fs.SetOutput(out)
@@ -242,6 +248,8 @@ func Fomodel(args []string, out io.Writer) error {
 	branchMode := fs.String("branch-mode", "midpoint", "branch penalty derivation: midpoint|isolated|measured")
 	mf := addMachineFlags(fs)
 	profile := fs.String("profile", "", "JSON profile file instead of named workloads")
+	remote := fs.String("remote", "", "fomodeld base URL (e.g. http://127.0.0.1:8750): predict via the daemon instead of computing locally")
+	remoteTimeout := fs.Duration("remote-timeout", client.DefaultRequestTimeout, "per-request deadline for -remote calls")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -249,6 +257,80 @@ func Fomodel(args []string, out io.Writer) error {
 	mode, err := server.ParseBranchMode(*branchMode)
 	if err != nil {
 		return fmt.Errorf("fomodel: unknown branch mode %q", *branchMode)
+	}
+
+	var enc *json.Encoder
+	tw := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
+	switch {
+	case *jsonOut:
+		enc = json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+	case *sim:
+		fmt.Fprintln(tw, "bench\tidealCPI\tbrCPI\tiL1CPI\tiL2CPI\tdCPI\tmodelCPI\tsimCPI\terr%")
+	default:
+		fmt.Fprintln(tw, "bench\tidealCPI\tbrCPI\tiL1CPI\tiL2CPI\tdCPI\tmodelCPI")
+	}
+	// emit renders one prediction record, identically for local and
+	// remote computations.
+	emit := func(record server.PredictRecord) error {
+		if enc != nil {
+			return enc.Encode(record)
+		}
+		est := record.Estimate
+		if !*sim {
+			fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+				record.Bench, est.SteadyCPI, est.BranchCPI, est.ICacheShortCPI, est.ICacheLongCPI, est.DCacheCPI, est.CPI)
+			return nil
+		}
+		simCPI := *record.SimCPI
+		errPct := 100 * (est.CPI - simCPI) / simCPI
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%+.1f\n",
+			record.Bench, est.SteadyCPI, est.BranchCPI, est.ICacheShortCPI, est.ICacheLongCPI, est.DCacheCPI, est.CPI, simCPI, errPct)
+		return nil
+	}
+
+	if *remote != "" {
+		if *profile != "" {
+			return fmt.Errorf("fomodel: -remote serves built-in workloads only, not -profile files")
+		}
+		names := fs.Args()
+		if len(names) == 0 {
+			names = workload.Names()
+		}
+		items := make([]server.PredictRequest, len(names))
+		for i, name := range names {
+			items[i] = server.PredictRequest{
+				Bench: name, N: *n, Seed: *seed,
+				Machine: mf.spec(), BranchMode: *branchMode, Sim: *sim,
+			}
+		}
+		cl := client.New(*remote)
+		cl.RequestTimeout = *remoteTimeout
+		batch, err := cl.Batch(context.Background(), items)
+		if err != nil {
+			return fmt.Errorf("fomodel: %w", err)
+		}
+		for i, item := range batch {
+			if item.Status != 200 {
+				return fmt.Errorf("fomodel: %s: %s (HTTP %d)", names[i], item.Error, item.Status)
+			}
+			if *jsonOut {
+				// The item body already is the daemon's exact indented
+				// JSON — identical to what enc would produce locally.
+				if _, err := io.WriteString(out, item.Body); err != nil {
+					return err
+				}
+				continue
+			}
+			var record server.PredictRecord
+			if err := json.Unmarshal([]byte(item.Body), &record); err != nil {
+				return fmt.Errorf("fomodel: %s: bad daemon response: %w", names[i], err)
+			}
+			if err := emit(record); err != nil {
+				return err
+			}
+		}
+		return tw.Flush()
 	}
 
 	traces, err := loadWorkloads(*profile, fs.Args(), *n, *seed)
@@ -265,17 +347,6 @@ func Fomodel(args []string, out io.Writer) error {
 		return err
 	}
 
-	var enc *json.Encoder
-	tw := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
-	switch {
-	case *jsonOut:
-		enc = json.NewEncoder(out)
-		enc.SetIndent("", "  ")
-	case *sim:
-		fmt.Fprintln(tw, "bench\tidealCPI\tbrCPI\tiL1CPI\tiL2CPI\tdCPI\tmodelCPI\tsimCPI\terr%")
-	default:
-		fmt.Fprintln(tw, "bench\tidealCPI\tbrCPI\tiL1CPI\tiL2CPI\tdCPI\tmodelCPI")
-	}
 	// The full per-trace pipeline is server.Predict — the same function
 	// the daemon's /v1/predict handler calls, which is what keeps a
 	// server response byte-equivalent in content to this tool's output.
@@ -284,22 +355,9 @@ func Fomodel(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if enc != nil {
-			if err := enc.Encode(record); err != nil {
-				return err
-			}
-			continue
+		if err := emit(record); err != nil {
+			return err
 		}
-		est := record.Estimate
-		if !*sim {
-			fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
-				t.Name, est.SteadyCPI, est.BranchCPI, est.ICacheShortCPI, est.ICacheLongCPI, est.DCacheCPI, est.CPI)
-			continue
-		}
-		simCPI := *record.SimCPI
-		errPct := 100 * (est.CPI - simCPI) / simCPI
-		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%+.1f\n",
-			t.Name, est.SteadyCPI, est.BranchCPI, est.ICacheShortCPI, est.ICacheLongCPI, est.DCacheCPI, est.CPI, simCPI, errPct)
 	}
 	return tw.Flush()
 }

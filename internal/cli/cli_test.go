@@ -3,11 +3,13 @@ package cli
 import (
 	"bytes"
 	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"fomodel/internal/server"
 	"fomodel/internal/workload"
 )
 
@@ -292,6 +294,56 @@ func TestParseFUCounts(t *testing.T) {
 		if v != 0 {
 			t.Fatal("empty spec set limits")
 		}
+	}
+}
+
+// TestFomodelRemoteMatchesLocal pins the -remote contract: routing the
+// same invocation through a fomodeld daemon produces byte-identical
+// output — table and -json modes both — because the daemon serves the
+// exact bytes the local pipeline would print.
+func TestFomodelRemoteMatchesLocal(t *testing.T) {
+	srv := httptest.NewServer(server.New(server.Config{N: 20000}, nil).Handler())
+	defer srv.Close()
+
+	for _, extra := range [][]string{
+		{},
+		{"-json", "-sim"},
+		{"-width", "8", "-branch-mode", "isolated"},
+	} {
+		args := append([]string{"-n", "15000"}, extra...)
+		var local, remote bytes.Buffer
+		if err := Fomodel(append(args, "gzip", "mcf"), &local); err != nil {
+			t.Fatalf("%v local: %v", extra, err)
+		}
+		if err := Fomodel(append(append([]string{"-remote", srv.URL}, args...), "gzip", "mcf"), &remote); err != nil {
+			t.Fatalf("%v remote: %v", extra, err)
+		}
+		if local.String() != remote.String() {
+			t.Errorf("%v: remote output differs from local\nlocal:\n%s\nremote:\n%s",
+				extra, local.String(), remote.String())
+		}
+	}
+}
+
+func TestFomodelRemoteErrors(t *testing.T) {
+	srv := httptest.NewServer(server.New(server.Config{N: 20000}, nil).Handler())
+	defer srv.Close()
+
+	var out bytes.Buffer
+	// -profile workloads only exist locally; the combination is rejected.
+	if err := Fomodel([]string{"-remote", srv.URL, "-profile", "x.json"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-profile") {
+		t.Errorf("remote+profile: err = %v, want a -profile rejection", err)
+	}
+	// A per-item failure surfaces as the command's error, named by bench.
+	if err := Fomodel([]string{"-remote", srv.URL, "gzip", "nonsense"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "nonsense") {
+		t.Errorf("remote unknown bench: err = %v, want it named", err)
+	}
+	// An unreachable daemon is an error, not a hang (retries are bounded).
+	c := []string{"-remote", "http://127.0.0.1:1", "gzip"}
+	if err := Fomodel(c, &out); err == nil {
+		t.Errorf("unreachable daemon: want an error")
 	}
 }
 

@@ -1,0 +1,400 @@
+// Package client is the Go client for fomodeld, the model-serving
+// daemon. It is the consumer half of the serving stack: per-request
+// deadlines, bounded exponential backoff with jitter on 429/503 that
+// honors the server's Retry-After header, one-round-trip batch
+// prediction, and streaming (NDJSON) sweep consumption. The request and
+// response types are internal/server's own, so a client binary and the
+// daemon can never disagree about the wire shape.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"fomodel/internal/experiments"
+	"fomodel/internal/server"
+)
+
+// Default knobs; see the corresponding Client fields.
+const (
+	DefaultRequestTimeout = 30 * time.Second
+	DefaultMaxRetries     = 4
+	DefaultBaseBackoff    = 200 * time.Millisecond
+	DefaultMaxBackoff     = 5 * time.Second
+)
+
+// Client talks to one fomodeld daemon. The zero value is not usable;
+// construct with New. All methods are safe for concurrent use.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8750".
+	BaseURL string
+	// HTTPClient is the transport; nil means http.DefaultClient.
+	HTTPClient *http.Client
+	// RequestTimeout bounds each non-streaming attempt (not the whole
+	// retry loop); 0 means DefaultRequestTimeout, negative disables it.
+	// Streaming requests are bounded only by the caller's context.
+	RequestTimeout time.Duration
+	// MaxRetries is how many times a 429/503 response is retried after
+	// the first attempt; 0 means DefaultMaxRetries, negative disables
+	// retries.
+	MaxRetries int
+	// BaseBackoff and MaxBackoff bound the exponential retry schedule:
+	// the k-th retry waits a jittered delay drawn from
+	// [backoff/2, backoff] where backoff doubles from BaseBackoff up to
+	// MaxBackoff — unless the server sent Retry-After, which is honored
+	// exactly (the server knows its own service time better than the
+	// client's guess). Zero values select the defaults.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// sleep parks between retries; tests replace it to observe the
+	// schedule without waiting it out. nil means a context-aware sleep.
+	sleep func(ctx context.Context, d time.Duration) error
+	// jitter maps a backoff ceiling to the actual delay; nil draws
+	// uniformly from [d/2, d].
+	jitter func(d time.Duration) time.Duration
+}
+
+// New returns a client for the daemon at baseURL with default timeout,
+// retry, and backoff settings; adjust the exported fields before first
+// use to tune them.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+// APIError is a non-200 daemon response, carrying the HTTP status and
+// the structured error message.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("fomodeld: %s (HTTP %d)", e.Message, e.Status)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) requestTimeout() time.Duration {
+	switch {
+	case c.RequestTimeout < 0:
+		return 0
+	case c.RequestTimeout == 0:
+		return DefaultRequestTimeout
+	}
+	return c.RequestTimeout
+}
+
+func (c *Client) maxRetries() int {
+	switch {
+	case c.MaxRetries < 0:
+		return 0
+	case c.MaxRetries == 0:
+		return DefaultMaxRetries
+	}
+	return c.MaxRetries
+}
+
+func (c *Client) baseBackoff() time.Duration {
+	if c.BaseBackoff <= 0 {
+		return DefaultBaseBackoff
+	}
+	return c.BaseBackoff
+}
+
+func (c *Client) maxBackoff() time.Duration {
+	if c.MaxBackoff <= 0 {
+		return DefaultMaxBackoff
+	}
+	return c.MaxBackoff
+}
+
+func (c *Client) sleepFn(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		return c.sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (c *Client) jitterFn(d time.Duration) time.Duration {
+	if c.jitter != nil {
+		return c.jitter(d)
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// retryable reports whether the status signals transient overload or
+// unavailability worth retrying.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// retryAfter parses the response's Retry-After header as delay seconds;
+// 0 means absent or unparseable.
+func retryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// apiError drains the response and converts its structured error body
+// into an *APIError.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	var e struct {
+		Error string `json:"error"`
+	}
+	msg := ""
+	if json.Unmarshal(body, &e) == nil {
+		msg = e.Error
+	}
+	if msg == "" {
+		msg = http.StatusText(resp.StatusCode)
+	}
+	return &APIError{Status: resp.StatusCode, Message: msg}
+}
+
+// do runs one request through the retry loop and returns a 200
+// response whose body the caller must close. stream requests skip the
+// per-attempt timeout (rows may flow for a long time); buffered
+// attempts each carry RequestTimeout.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, stream bool) (*http.Response, error) {
+	backoff := c.baseBackoff()
+	retries := c.maxRetries()
+	for attempt := 0; ; attempt++ {
+		actx, cancel := ctx, context.CancelFunc(nil)
+		if t := c.requestTimeout(); t > 0 && !stream {
+			actx, cancel = context.WithTimeout(ctx, t)
+		}
+		resp, err := c.attempt(actx, method, path, body, stream)
+		if err == nil && !retryable(resp.StatusCode) {
+			if resp.StatusCode != http.StatusOK {
+				if cancel != nil {
+					defer cancel()
+				}
+				return nil, apiError(resp)
+			}
+			if cancel != nil {
+				resp.Body = &cancelingBody{ReadCloser: resp.Body, cancel: cancel}
+			}
+			return resp, nil
+		}
+
+		// Transient failure: decide the delay, then either give up or
+		// back off and go again.
+		var delay time.Duration
+		var lastErr error
+		if err != nil {
+			lastErr = err
+		} else {
+			delay = retryAfter(resp)
+			lastErr = apiError(resp) // drains and closes the body
+		}
+		if cancel != nil {
+			cancel()
+		}
+		if attempt >= retries {
+			return nil, lastErr
+		}
+		if delay == 0 {
+			delay = c.jitterFn(backoff)
+		}
+		if err := c.sleepFn(ctx, delay); err != nil {
+			return nil, err
+		}
+		backoff *= 2
+		if max := c.maxBackoff(); backoff > max {
+			backoff = max
+		}
+	}
+}
+
+// attempt issues a single HTTP request.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, stream bool) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if stream {
+		req.Header.Set("Accept", "application/x-ndjson")
+	}
+	return c.httpClient().Do(req)
+}
+
+// cancelingBody ties a per-attempt context to the response body's
+// lifetime so the deadline timer is released when the caller is done.
+type cancelingBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelingBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// postJSON marshals req, posts it, and reads the whole 200 body.
+func (c *Client) postJSON(ctx context.Context, path string, req any) ([]byte, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, path, payload, false)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// PredictRaw returns the exact /v1/predict response bytes — the same
+// bytes `fomodel -json` prints for the equivalent invocation.
+func (c *Client) PredictRaw(ctx context.Context, req server.PredictRequest) ([]byte, error) {
+	return c.postJSON(ctx, "/v1/predict", req)
+}
+
+// Predict returns one workload's decoded CPI prediction.
+func (c *Client) Predict(ctx context.Context, req server.PredictRequest) (server.PredictRecord, error) {
+	var rec server.PredictRecord
+	body, err := c.PredictRaw(ctx, req)
+	if err != nil {
+		return rec, err
+	}
+	err = json.Unmarshal(body, &rec)
+	return rec, err
+}
+
+// Batch evaluates many predict requests in one round trip. The returned
+// items are in request order; each carries its own status, cache state,
+// and either the exact per-item /v1/predict body or an error message —
+// a failing item does not fail the batch.
+func (c *Client) Batch(ctx context.Context, items []server.PredictRequest) ([]server.BatchItem, error) {
+	body, err := c.postJSON(ctx, "/v1/batch", server.BatchRequest{Items: items})
+	if err != nil {
+		return nil, err
+	}
+	var resp server.BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Items, nil
+}
+
+// Sweep runs a buffered design-space sweep.
+func (c *Client) Sweep(ctx context.Context, spec experiments.SweepSpec) (*server.SweepResponse, error) {
+	body, err := c.postJSON(ctx, "/v1/sweep", spec)
+	if err != nil {
+		return nil, err
+	}
+	var resp server.SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SweepStream runs a streaming sweep: onPoint is called for each grid
+// cell's row as it arrives, and the sweep-level trailer is returned
+// once the stream ends. An onPoint error abandons the stream (closing
+// the connection cancels the server's remaining cells), as does ctx.
+func (c *Client) SweepStream(ctx context.Context, spec experiments.SweepSpec, onPoint func(experiments.SweepPoint) error) (*server.SweepTrailer, error) {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/sweep", payload, true)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Bench  *string `json:"bench"`
+			Render *string `json:"render"`
+			Error  *string `json:"error"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("client: malformed stream row %q: %v", line, err)
+		}
+		switch {
+		case probe.Error != nil:
+			return nil, &APIError{Status: http.StatusInternalServerError, Message: *probe.Error}
+		case probe.Render != nil:
+			var trailer server.SweepTrailer
+			if err := json.Unmarshal(line, &trailer); err != nil {
+				return nil, err
+			}
+			return &trailer, nil
+		case probe.Bench != nil:
+			var pt experiments.SweepPoint
+			if err := json.Unmarshal(line, &pt); err != nil {
+				return nil, err
+			}
+			if onPoint != nil {
+				if err := onPoint(pt); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, fmt.Errorf("client: unrecognized stream row %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("client: stream ended without a trailer row")
+}
+
+// Workloads lists the daemon's built-in workloads and their model-facing
+// statistics.
+func (c *Client) Workloads(ctx context.Context) (*server.WorkloadsResponse, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/workloads", nil, false)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var w server.WorkloadsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&w); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}

@@ -1,0 +1,296 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fomodel/internal/experiments"
+	"fomodel/internal/server"
+)
+
+// testClient wires a client to a handler with an instant sleep hook that
+// records the retry schedule.
+func testClient(t *testing.T, h http.Handler) (*Client, *[]time.Duration) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	delays := &[]time.Duration{}
+	c := New(srv.URL)
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return ctx.Err()
+	}
+	return c, delays
+}
+
+// realServer starts a full fomodeld handler chain for integration tests.
+func realServer(t *testing.T, cfg server.Config) *Client {
+	t.Helper()
+	if cfg.N == 0 {
+		cfg.N = 20000
+	}
+	srv := httptest.NewServer(server.New(cfg, nil).Handler())
+	t.Cleanup(srv.Close)
+	return New(srv.URL)
+}
+
+// TestRetryHonorsRetryAfter pins the core retry contract: the server's
+// Retry-After is used verbatim as the delay — no jitter, no backoff
+// growth — across both retryable statuses.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	c, delays := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, `{"error":"saturated"}`, http.StatusTooManyRequests)
+		case 2:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+		default:
+			fmt.Fprintln(w, `{"n":20000,"seed":1,"workloads":[]}`)
+		}
+	}))
+	c.jitter = func(time.Duration) time.Duration {
+		t.Error("jitter used despite Retry-After being present")
+		return 0
+	}
+
+	if _, err := c.Workloads(context.Background()); err != nil {
+		t.Fatalf("Workloads after retries: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+	want := []time.Duration{2 * time.Second, time.Second}
+	if len(*delays) != len(want) {
+		t.Fatalf("delays = %v, want %v", *delays, want)
+	}
+	for i, d := range *delays {
+		if d != want[i] {
+			t.Errorf("delay %d = %v, want %v", i, d, want[i])
+		}
+	}
+}
+
+// TestBackoffScheduleWithoutRetryAfter pins the fallback schedule: with
+// no Retry-After, each delay is a jittered draw from [backoff/2, backoff]
+// with backoff doubling from BaseBackoff and capped at MaxBackoff.
+func TestBackoffScheduleWithoutRetryAfter(t *testing.T) {
+	c, delays := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"saturated"}`, http.StatusTooManyRequests)
+	}))
+	c.MaxRetries = 3
+	c.BaseBackoff = 100 * time.Millisecond
+	c.MaxBackoff = 300 * time.Millisecond
+
+	_, err := c.Workloads(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("exhausted retries: err = %v, want a 429 APIError", err)
+	}
+	if !strings.Contains(apiErr.Error(), "saturated") {
+		t.Errorf("error %q should carry the server message", apiErr.Error())
+	}
+	// Ceilings double then cap: 100ms, 200ms, 300ms.
+	ceilings := []time.Duration{100, 200, 300}
+	if len(*delays) != len(ceilings) {
+		t.Fatalf("delays = %v, want %d draws", *delays, len(ceilings))
+	}
+	for i, d := range *delays {
+		lo, hi := ceilings[i]*time.Millisecond/2, ceilings[i]*time.Millisecond
+		if d < lo || d > hi {
+			t.Errorf("delay %d = %v outside [%v, %v]", i, d, lo, hi)
+		}
+	}
+}
+
+// TestNoRetryOnBadRequest pins that only 429/503 are retried: a 400 is a
+// terminal APIError after one attempt.
+func TestNoRetryOnBadRequest(t *testing.T) {
+	var calls atomic.Int32
+	c, delays := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"unknown profile \"nope\""}`, http.StatusBadRequest)
+	}))
+	_, err := c.Predict(context.Background(), server.PredictRequest{Bench: "nope"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want a 400 APIError", err)
+	}
+	if calls.Load() != 1 || len(*delays) != 0 {
+		t.Errorf("attempts = %d, sleeps = %d; want 1 attempt, 0 sleeps", calls.Load(), len(*delays))
+	}
+}
+
+// TestRetriesDisabled pins MaxRetries < 0: one attempt, no sleeps.
+func TestRetriesDisabled(t *testing.T) {
+	var calls atomic.Int32
+	c, delays := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"saturated"}`, http.StatusTooManyRequests)
+	}))
+	c.MaxRetries = -1
+	if _, err := c.Workloads(context.Background()); err == nil {
+		t.Fatal("want an error with retries disabled")
+	}
+	if calls.Load() != 1 || len(*delays) != 0 {
+		t.Errorf("attempts = %d, sleeps = %d; want 1 attempt, 0 sleeps", calls.Load(), len(*delays))
+	}
+}
+
+// TestPerRequestDeadline pins the per-attempt timeout: a server slower
+// than RequestTimeout fails the attempt with a deadline error rather
+// than hanging.
+func TestPerRequestDeadline(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-block:
+		case <-r.Context().Done():
+		}
+	}))
+	c.RequestTimeout = 20 * time.Millisecond
+	c.MaxRetries = -1
+	_, err := c.Workloads(context.Background())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want a deadline error", err)
+	}
+}
+
+// TestRetryUnder429Saturation is the end-to-end shedding scenario: the
+// daemon sheds with 429 + Retry-After while saturated; the client backs
+// off for exactly the advertised delay and succeeds once capacity
+// returns (the sleep hook is the moment the saturation lifts).
+func TestRetryUnder429Saturation(t *testing.T) {
+	saturated := atomic.Bool{}
+	saturated.Store(true)
+	var calls atomic.Int32
+	backend := server.New(server.Config{N: 20000}, nil).Handler()
+	c, delays := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if saturated.Load() {
+			// What fomodeld's limiter sends when every slot is busy.
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"server saturated"}`, http.StatusTooManyRequests)
+			return
+		}
+		backend.ServeHTTP(w, r)
+	}))
+	inner := c.sleep
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		saturated.Store(false) // capacity returns while the client waits
+		return inner(ctx, d)
+	}
+
+	rec, err := c.Predict(context.Background(), server.PredictRequest{Bench: "gzip"})
+	if err != nil {
+		t.Fatalf("Predict under saturation: %v", err)
+	}
+	if rec.Bench != "gzip" || rec.Estimate.CPI <= 0 {
+		t.Errorf("implausible prediction: %+v", rec)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("attempts = %d, want 2 (shed, then served)", calls.Load())
+	}
+	if len(*delays) != 1 || (*delays)[0] != time.Second {
+		t.Errorf("delays = %v, want exactly the advertised 1s", *delays)
+	}
+}
+
+// TestBatchRoundTrip pins the batch method against the real daemon: item
+// bodies decode to predictions and match PredictRaw byte for byte.
+func TestBatchRoundTrip(t *testing.T) {
+	c := realServer(t, server.Config{})
+	ctx := context.Background()
+	reqs := []server.PredictRequest{{Bench: "gzip"}, {Bench: "mcf"}}
+	items, err := c.Batch(ctx, reqs)
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("items = %d, want 2", len(items))
+	}
+	for i, item := range items {
+		if item.Status != http.StatusOK {
+			t.Fatalf("item %d: status %d (%s)", i, item.Status, item.Error)
+		}
+		raw, err := c.PredictRaw(ctx, reqs[i])
+		if err != nil {
+			t.Fatalf("PredictRaw %d: %v", i, err)
+		}
+		if item.Body != string(raw) {
+			t.Errorf("item %d body differs from PredictRaw", i)
+		}
+	}
+}
+
+// TestSweepStreamRoundTrip pins streaming consumption against the real
+// daemon: every grid cell arrives as a point, the trailer carries the
+// sweep-level fields, and both agree with the buffered Sweep result.
+func TestSweepStreamRoundTrip(t *testing.T) {
+	c := realServer(t, server.Config{})
+	ctx := context.Background()
+	spec := experiments.SweepSpec{Param: "width", Benches: []string{"gzip"}, Values: []int{2, 4, 6, 8}}
+
+	var points []experiments.SweepPoint
+	trailer, err := c.SweepStream(ctx, spec, func(pt experiments.SweepPoint) error {
+		points = append(points, pt)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("SweepStream: %v", err)
+	}
+	buffered, err := c.Sweep(ctx, spec)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(points) != len(buffered.Points) {
+		t.Fatalf("streamed %d points, buffered %d", len(points), len(buffered.Points))
+	}
+	for i := range points {
+		if points[i] != buffered.Points[i] {
+			t.Errorf("point %d differs: streamed %+v buffered %+v", i, points[i], buffered.Points[i])
+		}
+	}
+	if trailer.Render != buffered.Render || trailer.CSV != buffered.CSV ||
+		trailer.MeanAbsErr != buffered.MeanAbsErr || trailer.Title != buffered.Title {
+		t.Errorf("trailer differs from buffered sweep:\n%+v\nvs\n%+v", trailer, buffered)
+	}
+}
+
+// TestSweepStreamServerError pins the mid-protocol error paths: an error
+// row becomes an APIError, and a truncated stream (no trailer) is
+// reported rather than silently treated as complete.
+func TestSweepStreamServerError(t *testing.T) {
+	t.Run("error row", func(t *testing.T) {
+		c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			fmt.Fprintln(w, `{"bench":"gzip","value":2,"sim_cpi":1,"model_cpi":1,"err":0}`)
+			fmt.Fprintln(w, `{"error":"simulator exploded"}`)
+		}))
+		_, err := c.SweepStream(context.Background(), experiments.SweepSpec{}, nil)
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || !strings.Contains(apiErr.Message, "simulator exploded") {
+			t.Fatalf("err = %v, want an APIError carrying the row's message", err)
+		}
+	})
+	t.Run("truncated stream", func(t *testing.T) {
+		c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			fmt.Fprintln(w, `{"bench":"gzip","value":2,"sim_cpi":1,"model_cpi":1,"err":0}`)
+		}))
+		_, err := c.SweepStream(context.Background(), experiments.SweepSpec{}, nil)
+		if err == nil || !strings.Contains(err.Error(), "without a trailer") {
+			t.Fatalf("err = %v, want a truncated-stream error", err)
+		}
+	})
+}

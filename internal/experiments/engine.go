@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -31,6 +32,32 @@ func normalizeWorkers(workers int) int {
 	return workers
 }
 
+// PanicError is a panic recovered from an engine worker, carrying the
+// panic value and the worker's stack. The engine converts panics into
+// ordinary errors so one panicking job cannot kill the whole process —
+// in the daemon, a pooled sweep or batch worker that panics surfaces as
+// a 500 response instead of tearing the server down.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("experiments: worker panic: %v", e.Value)
+}
+
+// guard invokes compute(i), converting a panic into a *PanicError.
+func guard[T any](compute func(int) (T, error), i int) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return compute(i)
+}
+
 // RunOrdered runs n independent jobs on a pool of at most workers
 // goroutines (0 means DefaultWorkers) and delivers each result to emit on
 // the calling goroutine, strictly in index order. compute(i) may run
@@ -47,7 +74,7 @@ func RunOrdered[T any](workers, n int, compute func(int) (T, error), emit func(i
 	workers = normalizeWorkers(workers)
 	if workers == 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			v, err := compute(i)
+			v, err := guard(compute, i)
 			if err != nil {
 				return err
 			}
@@ -88,7 +115,7 @@ func RunOrdered[T any](workers, n int, compute func(int) (T, error), emit func(i
 	for w := 0; w < workers; w++ {
 		go func() {
 			for i := range work {
-				results[i].v, results[i].err = compute(i)
+				results[i].v, results[i].err = guard(compute, i)
 				close(done[i])
 			}
 		}()
@@ -172,7 +199,9 @@ func (e *Engine) Do(jobs ...Job) error {
 			defer wg.Done()
 			defer func() { <-sem }()
 			start := time.Now()
-			errs[i] = jobs[i].Run()
+			_, errs[i] = guard(func(i int) (struct{}, error) {
+				return struct{}{}, jobs[i].Run()
+			}, i)
 			e.Timings.Record("experiment", jobs[i].Name, time.Since(start))
 		}(i)
 	}

@@ -110,6 +110,67 @@ func TestRunOrderedEmitErrorStops(t *testing.T) {
 	}
 }
 
+// TestRunOrderedRecoversPanics pins the pooled panic contract: a panic
+// in a compute callback — sequential or pooled — surfaces as a
+// *PanicError carrying the panic value and a stack, instead of killing
+// the worker goroutine (which would deadlock the emit loop) or the
+// process.
+func TestRunOrderedRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var emitted []int
+		err := RunOrdered(workers, 10, func(i int) (int, error) {
+			if i == 3 {
+				panic(fmt.Sprintf("boom at %d", i))
+			}
+			return i, nil
+		}, func(i, _ int) error {
+			emitted = append(emitted, i)
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %v (%T), want *PanicError", workers, err, err)
+		}
+		if got := fmt.Sprint(pe.Value); got != "boom at 3" {
+			t.Errorf("workers=%d: panic value = %q", workers, got)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: PanicError carries no stack", workers)
+		}
+		if !strings.Contains(pe.Error(), "worker panic") || !strings.Contains(pe.Error(), "boom at 3") {
+			t.Errorf("workers=%d: error text %q should name the panic", workers, pe.Error())
+		}
+		for _, i := range emitted {
+			if i >= 3 {
+				t.Errorf("workers=%d: emitted slot %d past the panic", workers, i)
+			}
+		}
+	}
+}
+
+// TestEngineDoRecoversPanics pins the same contract for the job-list
+// engine: a panicking job surfaces as the *PanicError result while the
+// sibling jobs still run to completion.
+func TestEngineDoRecoversPanics(t *testing.T) {
+	var ran atomic.Int32
+	eng := NewEngine(4)
+	err := eng.Do(
+		Job{Name: "ok-1", Run: func() error { ran.Add(1); return nil }},
+		Job{Name: "bad", Run: func() error { panic("job boom") }},
+		Job{Name: "ok-2", Run: func() error { ran.Add(1); return nil }},
+	)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v (%T), want *PanicError", err, err)
+	}
+	if got := fmt.Sprint(pe.Value); got != "job boom" {
+		t.Errorf("panic value = %q", got)
+	}
+	if ran.Load() != 2 {
+		t.Errorf("sibling jobs ran %d times, want 2", ran.Load())
+	}
+}
+
 func TestRunOrderedZeroJobs(t *testing.T) {
 	if err := RunOrdered(4, 0, func(int) (int, error) {
 		t.Fatal("compute called with no jobs")

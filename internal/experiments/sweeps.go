@@ -132,6 +132,16 @@ func (sp SweepSpec) Validate() error {
 // next grid cell; started cells run to completion but their results are
 // discarded.
 func Sweep(ctx context.Context, s *Suite, spec SweepSpec) (*SweepResult, error) {
+	return SweepStream(ctx, s, spec, nil)
+}
+
+// SweepStream is Sweep with per-cell delivery: emit (when non-nil) is
+// called on the calling goroutine, strictly in grid order, as each cell's
+// point becomes available — the streaming surface the daemon's NDJSON
+// sweep mode is built on. An emit error stops the sweep (no new cells are
+// handed out) and is returned; cancelling ctx stops it at the next grid
+// cell. The returned result is identical to Sweep's for the same spec.
+func SweepStream(ctx context.Context, s *Suite, spec SweepSpec, emit func(SweepPoint) error) (*SweepResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -154,6 +164,9 @@ func Sweep(ctx context.Context, s *Suite, spec SweepSpec) (*SweepResult, error) 
 		return cell(s, w, jobs[i].value)
 	}, func(_ int, pt SweepPoint) error {
 		res.Points = append(res.Points, pt)
+		if emit != nil {
+			return emit(pt)
+		}
 		return nil
 	})
 	if err != nil {

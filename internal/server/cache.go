@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 
 	"fomodel/internal/metrics"
@@ -17,7 +18,19 @@ import (
 // Only successful (HTTP 200) responses are retained; errors and non-200
 // statuses are delivered to every request already waiting on the entry
 // (shared fate, like singleflight) and then forgotten, so a canceled or
-// failed computation never poisons later requests.
+// failed computation never poisons later requests. Three invariants the
+// regression tests pin:
+//
+//   - Joining a computation that finishes in an error is shared fate,
+//     not a cache hit: the hit counter only moves for retained 200s.
+//   - A failing entry is removed from the map and the LRU list under
+//     the lock *before* its waiters wake, so no request can find (or
+//     MoveToFront) an entry that is about to be forgotten.
+//   - Eviction only considers finished entries: an in-flight entry may
+//     have requests blocked on it, and dropping it would strand a
+//     duplicate computation, so capacity may be transiently exceeded by
+//     the number of in-flight computations (bounded by the admission
+//     limiter) but a waiter can never be detached from its entry.
 type respCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -31,6 +44,11 @@ type respEntry struct {
 	key  string
 	elem *list.Element
 	done chan struct{}
+
+	// finished is set under the cache mutex once compute returned and
+	// the entry's fate (retain or forget) was decided; eviction skips
+	// entries that are not yet finished.
+	finished bool
 
 	status int
 	body   []byte
@@ -47,39 +65,82 @@ func newRespCache(capacity int) *respCache {
 
 // Do returns the cached response for key, or runs compute once and
 // caches its result. hit reports whether the response came from the
-// cache (including joining a computation already in flight — the request
-// performed no work of its own).
+// cache or from joining an in-flight computation that succeeded — in
+// both cases the request performed no work of its own and received
+// retained bytes. Joining a computation that fails shares its outcome
+// but is not counted as a hit. A panicking compute is converted into an
+// error so waiters are released and the entry forgotten rather than
+// blocking forever.
 func (c *respCache) Do(key string, compute func() (status int, body []byte, err error)) (status int, body []byte, hit bool, err error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.order.MoveToFront(e.elem)
 		c.mu.Unlock()
 		<-e.done
-		c.hits.Inc()
-		return e.status, e.body, true, e.err
+		if e.err == nil && e.status == 200 {
+			c.hits.Inc()
+			return e.status, e.body, true, e.err
+		}
+		// Shared fate with a failed computation: the joiner performed no
+		// work, but nothing was served "from the cache" either.
+		return e.status, e.body, false, e.err
 	}
 	e := &respEntry{key: key, done: make(chan struct{})}
 	e.elem = c.order.PushFront(e)
 	c.entries[key] = e
-	for len(c.entries) > c.cap {
-		oldest := c.order.Back().Value.(*respEntry)
-		c.order.Remove(oldest.elem)
-		delete(c.entries, oldest.key)
-	}
+	c.evictLocked()
 	c.mu.Unlock()
 
 	c.misses.Inc()
-	e.status, e.body, e.err = compute()
-	close(e.done)
-	if e.err != nil || e.status != 200 {
-		c.mu.Lock()
+	status, body, err = safeCompute(compute)
+
+	// Decide the entry's fate under the lock before waking waiters:
+	// once done is closed, a lookup can never observe a failed entry,
+	// because failures leave the map within this same critical section.
+	c.mu.Lock()
+	e.status, e.body, e.err = status, body, err
+	e.finished = true
+	if err != nil || status != 200 {
 		if c.entries[key] == e {
 			c.order.Remove(e.elem)
 			delete(c.entries, key)
 		}
-		c.mu.Unlock()
+	} else {
+		c.evictLocked()
 	}
-	return e.status, e.body, false, e.err
+	c.mu.Unlock()
+	close(e.done)
+	return status, body, false, err
+}
+
+// safeCompute runs compute, converting a panic into an error so a
+// panicking handler computation degrades to a 500 instead of leaving
+// cache waiters blocked forever (net/http would swallow the panic but
+// nothing would ever close the entry's done channel).
+func safeCompute(compute func() (int, []byte, error)) (status int, body []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			status, body = 0, nil
+			err = fmt.Errorf("internal panic: %v", r)
+		}
+	}()
+	return compute()
+}
+
+// evictLocked trims the cache toward capacity, least-recently-used
+// first, skipping entries whose computation has not finished: those may
+// have requests blocked on their done channel, and every entry in the
+// map must remain reachable until its fate is decided.
+func (c *respCache) evictLocked() {
+	for elem := c.order.Back(); elem != nil && len(c.entries) > c.cap; {
+		prev := elem.Prev()
+		e := elem.Value.(*respEntry)
+		if e.finished {
+			c.order.Remove(elem)
+			delete(c.entries, e.key)
+		}
+		elem = prev
+	}
 }
 
 // Len returns the number of cached entries (including in-flight ones).

@@ -1,0 +1,252 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// ok200 is a compute that returns a distinct 200 body.
+func ok200(body string) func() (int, []byte, error) {
+	return func() (int, []byte, error) { return 200, []byte(body), nil }
+}
+
+// TestRespCacheErrorJoinNotAHit is the regression test for the
+// accounting bug where a request joining an in-flight computation that
+// finished in an error was counted as a cache hit.
+func TestRespCacheErrorJoinNotAHit(t *testing.T) {
+	c := newRespCache(8)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	failure := errors.New("compute failed")
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, hit, err := c.Do("k", func() (int, []byte, error) {
+			close(entered)
+			<-release
+			return 0, nil, failure
+		})
+		if hit {
+			t.Error("computing request reported hit")
+		}
+		if !errors.Is(err, failure) {
+			t.Errorf("computing request err = %v, want %v", err, failure)
+		}
+	}()
+	<-entered
+
+	// Join the in-flight computation, then let it fail.
+	joined := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(joined)
+		_, _, hit, err := c.Do("k", func() (int, []byte, error) {
+			t.Error("joiner ran its own compute")
+			return 0, nil, nil
+		})
+		if hit {
+			t.Error("error-outcome join counted as a hit")
+		}
+		if !errors.Is(err, failure) {
+			t.Errorf("joiner err = %v, want shared %v", err, failure)
+		}
+	}()
+	<-joined
+	close(release)
+	wg.Wait()
+
+	if hits, misses := c.Stats(); hits != 0 || misses != 1 {
+		t.Errorf("hits=%d misses=%d after shared failure, want 0/1", hits, misses)
+	}
+	if c.Len() != 0 {
+		t.Errorf("failed entry still cached: len=%d", c.Len())
+	}
+
+	// A later request must recompute (the failure was forgotten) and a
+	// successful join must still count as a hit.
+	if _, _, hit, err := c.Do("k", ok200("fresh")); hit || err != nil {
+		t.Errorf("recompute after failure: hit=%v err=%v", hit, err)
+	}
+	if _, body, hit, err := c.Do("k", nil); !hit || err != nil || string(body) != "fresh" {
+		t.Errorf("retained success: hit=%v err=%v body=%q", hit, err, body)
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 2 {
+		t.Errorf("hits=%d misses=%d, want 1/2", hits, misses)
+	}
+}
+
+// TestRespCacheNon200NotRetained pins that non-200 computed statuses are
+// delivered but never retained or counted as hits on join.
+func TestRespCacheNon200NotRetained(t *testing.T) {
+	c := newRespCache(8)
+	status, body, hit, err := c.Do("k", func() (int, []byte, error) {
+		return 404, []byte("nope"), nil
+	})
+	if status != 404 || string(body) != "nope" || hit || err != nil {
+		t.Fatalf("first = (%d, %q, %v, %v)", status, body, hit, err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("non-200 entry retained: len=%d", c.Len())
+	}
+	if hits, _ := c.Stats(); hits != 0 {
+		t.Fatalf("hits=%d, want 0", hits)
+	}
+}
+
+// TestRespCacheEvictionSkipsInflight is the regression test for the
+// eviction bug: trimming the LRU must never drop an entry whose
+// computation is still in flight, because requests may be blocked on it.
+func TestRespCacheEvictionSkipsInflight(t *testing.T) {
+	c := newRespCache(2)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	// Key A computes slowly; one waiter blocks on it.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, body, _, err := c.Do("a", func() (int, []byte, error) {
+			close(entered)
+			<-release
+			return 200, []byte("a-body"), nil
+		})
+		if err != nil || string(body) != "a-body" {
+			t.Errorf("computing request: body=%q err=%v", body, err)
+		}
+	}()
+	<-entered
+	waiterJoined := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(waiterJoined)
+		_, body, _, err := c.Do("a", nil) // must join, never compute (nil would panic)
+		if err != nil || string(body) != "a-body" {
+			t.Errorf("blocked waiter: body=%q err=%v", body, err)
+		}
+	}()
+	<-waiterJoined
+
+	// Fill past capacity while A is in flight and oldest in LRU order:
+	// the finished entries must be evicted around it.
+	c.Do("b", ok200("b"))
+	c.Do("c", ok200("c"))
+	c.Do("d", ok200("d"))
+	if got := c.Len(); got > 3 {
+		t.Errorf("len=%d after overfill, want ≤ 3 (cap 2 + 1 in-flight)", got)
+	}
+
+	// A must still be reachable and its waiters must complete correctly.
+	close(release)
+	wg.Wait()
+	if _, body, hit, err := c.Do("a", nil); !hit || err != nil || string(body) != "a-body" {
+		t.Errorf("in-flight entry was dropped by eviction: hit=%v err=%v body=%q", hit, err, body)
+	}
+	// The oldest *finished* entry (b) must have been evicted.
+	recomputed := false
+	c.Do("b", func() (int, []byte, error) {
+		recomputed = true
+		return 200, []byte("b"), nil
+	})
+	if !recomputed {
+		t.Error("finished LRU entry b was not evicted")
+	}
+}
+
+// TestRespCacheEvictsLRUOrder pins plain LRU behaviour for finished
+// entries: touching an entry protects it, the least-recently-used one
+// goes first.
+func TestRespCacheEvictsLRUOrder(t *testing.T) {
+	c := newRespCache(2)
+	c.Do("a", ok200("a"))
+	c.Do("b", ok200("b"))
+	c.Do("a", nil) // touch a, making b least recent
+	c.Do("c", ok200("c"))
+	if c.Len() != 2 {
+		t.Fatalf("len=%d, want 2", c.Len())
+	}
+	if _, _, hit, _ := c.Do("a", ok200("a2")); !hit {
+		t.Error("recently used entry a was evicted")
+	}
+	if _, _, hit, _ := c.Do("c", ok200("c2")); !hit {
+		t.Error("newest entry c was evicted")
+	}
+}
+
+// TestRespCachePanicReleasesWaiters pins that a panicking compute is
+// turned into an error, waiters are released (rather than blocking on a
+// done channel nobody will close), and the entry is forgotten.
+func TestRespCachePanicReleasesWaiters(t *testing.T) {
+	c := newRespCache(8)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _, err := c.Do("k", func() (int, []byte, error) {
+			close(entered)
+			<-release
+			panic("kaboom")
+		})
+		if err == nil || !strings.Contains(err.Error(), "kaboom") {
+			t.Errorf("panic not converted to error: %v", err)
+		}
+	}()
+	<-entered
+	joined := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(joined)
+		_, _, hit, err := c.Do("k", nil)
+		if hit || err == nil || !strings.Contains(err.Error(), "kaboom") {
+			t.Errorf("waiter after panic: hit=%v err=%v", hit, err)
+		}
+	}()
+	<-joined
+	close(release)
+	wg.Wait()
+	if c.Len() != 0 {
+		t.Errorf("panicked entry still cached: len=%d", c.Len())
+	}
+}
+
+// TestRespCacheConcurrentChurn exercises mixed hits, misses, failures,
+// and eviction under -race.
+func TestRespCacheConcurrentChurn(t *testing.T) {
+	c := newRespCache(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%10)
+				fail := i%7 == 0
+				status, body, _, err := c.Do(key, func() (int, []byte, error) {
+					if fail {
+						return 0, nil, errors.New("transient")
+					}
+					return 200, []byte(key), nil
+				})
+				if err == nil && (status != 200 || string(body) != key) {
+					t.Errorf("key %s: got (%d, %q)", key, status, body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Len(); got > 4 {
+		t.Errorf("len=%d after churn, want ≤ cap 4", got)
+	}
+}

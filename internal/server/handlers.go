@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 
 	"fomodel/internal/experiments"
 	"fomodel/internal/workload"
@@ -25,7 +26,13 @@ const (
 // decodeRequest parses a JSON request body strictly (unknown fields are
 // errors, as is trailing garbage).
 func decodeRequest(r *http.Request, v any) error {
-	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	return decodeRequestLimit(r, v, maxBodyBytes)
+}
+
+// decodeRequestLimit is decodeRequest with an explicit body bound;
+// /v1/batch allows a larger body than the single-object endpoints.
+func decodeRequestLimit(r *http.Request, v any, limit int64) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("invalid request body: %v", err)
@@ -150,7 +157,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		return http.StatusOK, body, nil
 	})
-	s.finishCompute(sw, r, status, body, hit, err)
+	s.finishCompute(sw, status, body, hit, err)
 }
 
 // SweepResponse is the /v1/sweep body: the structured sweep points plus
@@ -160,6 +167,28 @@ type SweepResponse struct {
 	*experiments.SweepResult
 	Render string `json:"render"`
 	CSV    string `json:"csv"`
+}
+
+// SweepTrailer is the final row of a streamed (NDJSON) sweep: everything
+// the buffered SweepResponse carries except the points, which were
+// already streamed one row per grid cell. Reassembling the rows into a
+// SweepResponse reproduces the buffered body byte for byte (pinned by
+// tests).
+type SweepTrailer struct {
+	Title      string  `json:"title"`
+	Param      string  `json:"param"`
+	MeanAbsErr float64 `json:"mean_abs_err"`
+	Render     string  `json:"render"`
+	CSV        string  `json:"csv"`
+}
+
+// ndjsonContentType is the streamed sweep's media type; requests opt in
+// by listing it in the Accept header.
+const ndjsonContentType = "application/x-ndjson"
+
+// wantsNDJSON reports whether the request asked for a streamed sweep.
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), ndjsonContentType)
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -177,6 +206,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "sweep grid of %d cells exceeds the 256-cell limit", cells)
 		return
 	}
+	if wantsNDJSON(r) {
+		s.streamSweep(sw, r, spec)
+		return
+	}
 	key, err := cacheKey("sweep", spec)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, "%s", err)
@@ -184,6 +217,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx := r.Context()
 	status, body, hit, err := s.cache.Do(key, func() (int, []byte, error) {
+		if s.panicHook != nil {
+			s.panicHook(spec.Param)
+		}
 		res, err := experiments.Sweep(ctx, s.suite, spec)
 		if err != nil {
 			return 0, nil, err
@@ -198,7 +234,74 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		return http.StatusOK, body, nil
 	})
-	s.finishCompute(sw, r, status, body, hit, err)
+	s.finishCompute(sw, status, body, hit, err)
+}
+
+// streamSweep is the NDJSON sweep mode: one compact SweepPoint row per
+// grid cell, flushed as the cell completes, then one SweepTrailer row
+// with the sweep-level fields. Streamed responses bypass the response
+// cache (rows leave before the result exists) but still share the
+// suite's workload and prep caches. A client disconnect cancels the
+// remaining grid cells through the request context; a failure after the
+// first row has been sent is reported as a final {"error": ...} row,
+// since the 200 header is already on the wire.
+func (s *Server) streamSweep(sw *statusWriter, r *http.Request, spec experiments.SweepSpec) {
+	ctx := r.Context()
+	wroteRow := false
+	writeRow := func(v any) error {
+		row, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if !wroteRow {
+			sw.Header().Set("Content-Type", ndjsonContentType)
+			sw.WriteHeader(http.StatusOK)
+			wroteRow = true
+		}
+		if _, err := sw.Write(append(row, '\n')); err != nil {
+			return err
+		}
+		sw.Flush()
+		return nil
+	}
+	res, err := func() (res *experiments.SweepResult, err error) {
+		// The streamed path runs outside the response cache, so it needs
+		// its own panic net: worker panics arrive here as PanicError via
+		// the engine's guard, and this recover catches the handler
+		// goroutine itself, turning both into a structured error instead
+		// of a severed connection.
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("internal panic: %v", r)
+			}
+		}()
+		if s.panicHook != nil {
+			s.panicHook(spec.Param)
+		}
+		return experiments.SweepStream(ctx, s.suite, spec, func(pt experiments.SweepPoint) error {
+			return writeRow(pt)
+		})
+	}()
+	if err != nil {
+		if !wroteRow {
+			// Nothing sent yet: fail the request with its real status.
+			s.finishCompute(sw, 0, nil, false, err)
+			return
+		}
+		if ctx.Err() == nil {
+			// Mid-stream failure with a live client: the status line is
+			// gone, so the error travels as the final row.
+			writeRow(errorResponse{Error: err.Error()})
+		}
+		return
+	}
+	writeRow(SweepTrailer{
+		Title:      res.Title,
+		Param:      res.Param,
+		MeanAbsErr: res.MeanAbsErr,
+		Render:     res.Render(),
+		CSV:        res.CSV(),
+	})
 }
 
 // WorkloadInfo is one benchmark's model-facing trace statistics, as
@@ -259,7 +362,7 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 		}
 		return http.StatusOK, body, nil
 	})
-	s.finishCompute(sw, r, status, body, hit, err)
+	s.finishCompute(sw, status, body, hit, err)
 }
 
 // cacheKey canonicalizes a request into its response-cache key: requests

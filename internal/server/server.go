@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -87,6 +89,10 @@ type Server struct {
 	// channel yields; tests use it to hold requests in flight
 	// deterministically.
 	gate chan struct{}
+	// panicHook, when non-nil, runs inside sweep and batch computations
+	// with the request's bench or parameter name; tests use it to inject
+	// worker panics and pin the recovery path.
+	panicHook func(name string)
 }
 
 type requestKey struct {
@@ -133,6 +139,7 @@ func New(cfg Config, log *slog.Logger) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", s.instrument("/v1/predict", true, s.handlePredict))
+	mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", true, s.handleBatch))
 	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", true, s.handleSweep))
 	mux.HandleFunc("GET /v1/workloads", s.instrument("/v1/workloads", true, s.handleWorkloads))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", false, s.handleHealthz))
@@ -164,6 +171,14 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the underlying writer so streamed NDJSON rows reach
+// the client per grid cell rather than buffering until the sweep ends.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument wraps a handler with admission control (when limited),
 // per-request deadline, the latency histogram, per-path/per-code request
 // counters, and one structured log line per request.
@@ -181,7 +196,7 @@ func (s *Server) instrument(path string, limited bool, h http.HandlerFunc) http.
 				}()
 			default:
 				s.shed.Inc()
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 				s.writeError(sw, http.StatusTooManyRequests,
 					"server saturated: %d requests already in flight", s.cfg.MaxInflight)
 				s.finish(path, sw, startReq, "")
@@ -197,6 +212,23 @@ func (s *Server) instrument(path string, limited bool, h http.HandlerFunc) http.
 		h(sw, r)
 		s.finish(path, sw, startReq, w.Header().Get("X-Cache"))
 	}
+}
+
+// retryAfterSeconds derives the 429 Retry-After value from observed
+// service time: the mean request latency from the histogram, rounded up
+// to whole seconds with a 1-second floor, so shed clients back off
+// proportionally to how long requests are actually taking instead of
+// hammering a saturated server once per second.
+func (s *Server) retryAfterSeconds() int {
+	snap := s.latency.Snapshot()
+	if snap.Count == 0 {
+		return 1
+	}
+	secs := int(math.Ceil(snap.Sum / float64(snap.Count)))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // finish records the request in the metrics and the structured log.
@@ -248,7 +280,18 @@ func (s *Server) writeError(w http.ResponseWriter, code int, format string, args
 // are written as-is, context errors become 499 (client gone, nothing
 // written) or 503 (deadline), and other failures pass through with their
 // computed status.
-func (s *Server) finishCompute(w *statusWriter, r *http.Request, status int, body []byte, hit bool, err error) {
+func (s *Server) finishCompute(w *statusWriter, status int, body []byte, hit bool, err error) {
+	cacheState := "miss"
+	if hit {
+		cacheState = "hit"
+	}
+	s.finishComputeState(w, status, body, cacheState, err)
+}
+
+// finishComputeState is finishCompute with an explicit cache state; an
+// empty state omits the X-Cache header (batch responses report cache
+// participation per item instead).
+func (s *Server) finishComputeState(w *statusWriter, status int, body []byte, cacheState string, err error) {
 	switch {
 	case errors.Is(err, context.Canceled):
 		// The client disconnected; there is no one to write to. Record
@@ -260,10 +303,8 @@ func (s *Server) finishCompute(w *statusWriter, r *http.Request, status int, bod
 	case err != nil:
 		s.writeError(w, http.StatusInternalServerError, "%s", err)
 	default:
-		if hit {
-			w.Header().Set("X-Cache", "hit")
-		} else {
-			w.Header().Set("X-Cache", "miss")
+		if cacheState != "" {
+			w.Header().Set("X-Cache", cacheState)
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)

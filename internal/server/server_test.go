@@ -351,6 +351,45 @@ func TestHealthzAndMetrics(t *testing.T) {
 	}
 }
 
+// TestRetryAfterDerived pins the 429 backpressure hint: Retry-After is
+// the observed mean request latency rounded up to whole seconds, with a
+// floor of one second before any requests (or under fast ones).
+func TestRetryAfterDerived(t *testing.T) {
+	s := testServer(Config{MaxInflight: 1})
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Errorf("retryAfterSeconds with no history = %d, want 1", got)
+	}
+	s.latency.Observe(0.01)
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Errorf("retryAfterSeconds under fast requests = %d, want floor of 1", got)
+	}
+
+	// Slow history: mean of 2.2s and 3.0s rounds up to 3.
+	s2 := testServer(Config{MaxInflight: 1})
+	s2.latency.Observe(2.2)
+	s2.latency.Observe(3.0)
+	if got := s2.retryAfterSeconds(); got != 3 {
+		t.Errorf("retryAfterSeconds = %d, want ceil(2.6) = 3", got)
+	}
+
+	// And the header carries the derived value when the limiter sheds.
+	s2.gate = make(chan struct{})
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() { done <- post(s2, "/v1/predict", `{"bench":"gzip"}`) }()
+	for s2.inflight.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	rec := get(s2, "/v1/workloads")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated request: status = %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After = %q, want %q", got, "3")
+	}
+	close(s2.gate)
+	<-done
+}
+
 func TestMethodNotAllowed(t *testing.T) {
 	s := testServer(Config{})
 	rec := get(s, "/v1/predict")
