@@ -1,0 +1,27 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// EncodeGob serializes v with encoding/gob. Gob round-trips every
+// exported field exactly — float64 bits included — which is what lets a
+// store-served analysis produce responses byte-identical to a fresh
+// computation.
+func EncodeGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("artifact: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeGob deserializes data produced by EncodeGob into v.
+func DecodeGob(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("artifact: decode: %w", err)
+	}
+	return nil
+}

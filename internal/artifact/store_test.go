@@ -1,0 +1,186 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func open(t *testing.T, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := open(t, 0)
+	payload := []byte("the artifact payload \x00 with binary bytes \xff")
+	if err := s.Put("trace", "gzip|n=1000|seed=7", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("trace", "gzip|n=1000|seed=7")
+	if !ok {
+		t.Fatal("Get missed a just-written artifact")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: got %q want %q", got, payload)
+	}
+	hits, misses, corrupt, writes, _ := s.Stats()
+	if hits != 1 || misses != 0 || corrupt != 0 || writes != 1 {
+		t.Errorf("stats = (hits %d, misses %d, corrupt %d, writes %d)", hits, misses, corrupt, writes)
+	}
+}
+
+func TestMissOnAbsentAndWrongKind(t *testing.T) {
+	s := open(t, 0)
+	if _, ok := s.Get("trace", "nope"); ok {
+		t.Error("Get hit on an empty store")
+	}
+	s.Put("trace", "k", []byte("x"))
+	if _, ok := s.Get("preps", "k"); ok {
+		t.Error("kinds share a namespace")
+	}
+}
+
+// artifactFile returns the single artifact file in the store directory.
+func artifactFile(t *testing.T, s *Store) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(s.Dir(), "*.foa"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("want exactly one artifact file, have %v (err %v)", matches, err)
+	}
+	return matches[0]
+}
+
+func TestCorruptedPayloadDetected(t *testing.T) {
+	s := open(t, 0)
+	s.Put("preps", "key", []byte("some payload bytes"))
+	path := artifactFile(t, s)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0xff // flip a payload byte under the checksum
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("preps", "key"); ok {
+		t.Fatal("corrupted artifact served")
+	}
+	if _, _, corrupt, _, _ := s.Stats(); corrupt != 1 {
+		t.Errorf("corrupt count = %d, want 1", corrupt)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupted artifact not deleted")
+	}
+}
+
+func TestTruncatedFileDetected(t *testing.T) {
+	s := open(t, 0)
+	s.Put("preps", "key", []byte("some payload bytes"))
+	path := artifactFile(t, s)
+	data, _ := os.ReadFile(path)
+	for _, cut := range []int{0, 3, 11, len(data) / 2, len(data) - 1} {
+		os.WriteFile(path, data[:cut], 0o644)
+		if _, ok := s.Get("preps", "key"); ok {
+			t.Fatalf("truncated artifact (%d bytes) served", cut)
+		}
+	}
+}
+
+func TestVersionBumpInvalidates(t *testing.T) {
+	s := open(t, 0)
+	s.Put("iw", "key", []byte("fitted curve"))
+	path := artifactFile(t, s)
+	data, _ := os.ReadFile(path)
+	// Rewrite the version field: a file written by any other format
+	// version must read as a miss, not as a payload.
+	binary.LittleEndian.PutUint32(data[4:8], FormatVersion+1)
+	os.WriteFile(path, data, 0o644)
+	if _, ok := s.Get("iw", "key"); ok {
+		t.Fatal("artifact from a different format version served")
+	}
+	// The stale file is deleted, so a re-Put re-establishes the entry.
+	s.Put("iw", "key", []byte("fitted curve v2"))
+	got, ok := s.Get("iw", "key")
+	if !ok || string(got) != "fitted curve v2" {
+		t.Fatalf("re-put after invalidation failed: %q %v", got, ok)
+	}
+}
+
+func TestKeyMismatchDetected(t *testing.T) {
+	s := open(t, 0)
+	s.Put("trace", "key-a", []byte("payload"))
+	src := artifactFile(t, s)
+	// Simulate a filename collision: key-b's slot holds key-a's file.
+	data, _ := os.ReadFile(src)
+	os.WriteFile(s.path("trace", "key-b"), data, 0o644)
+	if _, ok := s.Get("trace", "key-b"); ok {
+		t.Fatal("artifact with a mismatched embedded key served")
+	}
+}
+
+func TestSizeBoundEvictsOldest(t *testing.T) {
+	s := open(t, 600)
+	payload := make([]byte, 100)
+	s.Put("trace", "oldest", payload)
+	// Backdate the first artifact so eviction order is unambiguous even
+	// on coarse-mtime filesystems.
+	old := artifactFile(t, s)
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(old, past, past); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Put("trace", string(rune('a'+i)), payload)
+	}
+	if size := s.SizeBytes(); size > 600 {
+		t.Errorf("store size %d exceeds the 600-byte bound", size)
+	}
+	_, _, _, _, evictions := s.Stats()
+	if evictions == 0 {
+		t.Error("no evictions recorded despite exceeding the bound")
+	}
+	if _, ok := s.Get("trace", "oldest"); ok {
+		t.Error("oldest artifact survived eviction")
+	}
+}
+
+func TestNilStoreIsDisabled(t *testing.T) {
+	var s *Store
+	if err := s.Put("trace", "k", []byte("x")); err != nil {
+		t.Errorf("nil Put errored: %v", err)
+	}
+	if _, ok := s.Get("trace", "k"); ok {
+		t.Error("nil Get hit")
+	}
+	if s.SizeBytes() != 0 || s.Dir() != "" {
+		t.Error("nil accessors not zero")
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	type payload struct {
+		F float64
+		M map[int]int
+		S []int32
+	}
+	in := payload{F: 0.1 + 0.2, M: map[int]int{3: 4}, S: []int32{1, -1}}
+	b, err := EncodeGob(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := DecodeGob(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.F != in.F || out.M[3] != 4 || len(out.S) != 2 {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+}

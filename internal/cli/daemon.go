@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"time"
 
+	"fomodel/internal/artifact"
 	"fomodel/internal/server"
 )
 
@@ -28,8 +29,12 @@ func Fomodeld(ctx context.Context, args []string, out io.Writer) error {
 	parallel := fs.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	inflight := fs.Int("max-inflight", 0, "concurrent API requests before 429 shedding (0 = 2×GOMAXPROCS)")
 	cacheEntries := fs.Int("cache", 1024, "response cache capacity in entries")
+	traceEntries := fs.Int("trace-cache", 64, "non-default trace cache capacity in entries")
 	reqTimeout := fs.Duration("request-timeout", 2*time.Minute, "per-request computation deadline")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	storeDir := fs.String("store", "", "workload-artifact store directory (empty = no persistence)")
+	storeMax := fs.Int64("store-max-bytes", 1<<30, "artifact store size bound in bytes (0 = unbounded)")
+	warm := fs.Bool("warm", true, "precompute the default workload bundles at boot (background)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -38,14 +43,38 @@ func Fomodeld(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	logger := slog.New(slog.NewJSONHandler(out, nil))
+	var store *artifact.Store
+	if *storeDir != "" {
+		var err error
+		store, err = artifact.Open(*storeDir, *storeMax)
+		if err != nil {
+			return fmt.Errorf("fomodeld: open artifact store: %w", err)
+		}
+		logger.Info("artifact store open", "dir", store.Dir(), "bytes", store.SizeBytes())
+	}
 	srv := server.New(server.Config{
-		N:              *n,
-		Seed:           *seed,
-		Workers:        *parallel,
-		MaxInflight:    *inflight,
-		CacheEntries:   *cacheEntries,
-		RequestTimeout: *reqTimeout,
+		N:                 *n,
+		Seed:              *seed,
+		Workers:           *parallel,
+		MaxInflight:       *inflight,
+		CacheEntries:      *cacheEntries,
+		TraceCacheEntries: *traceEntries,
+		RequestTimeout:    *reqTimeout,
+		Store:             store,
 	}, logger)
+	if *warm {
+		// Warm in the background so the listener is up immediately; the
+		// first requests for a still-cold workload simply join the warm
+		// computation through the suite's single-flight cache.
+		go func() {
+			start := time.Now()
+			if err := srv.Warm(ctx); err != nil {
+				logger.Info("warm-up stopped", "err", err.Error())
+				return
+			}
+			logger.Info("warm-up complete", "dur_ms", time.Since(start).Milliseconds())
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"fomodel/internal/artifact"
 	"fomodel/internal/core"
 	"fomodel/internal/iw"
 	"fomodel/internal/metrics"
@@ -42,6 +43,11 @@ type Suite struct {
 	// DefaultWorkers; one forces sequential execution. Results are
 	// deterministic at any setting.
 	Workers int
+	// Store, when non-nil, persists the expensive per-benchmark prep
+	// products (traces, analyses, classification preps, producer links)
+	// across processes; see internal/artifact. Set it before the first
+	// Workload call — it is read without synchronization.
+	Store *artifact.Store
 	// Timings, when non-nil, receives one "workload" sample per computed
 	// analysis bundle.
 	Timings *Timings
@@ -122,6 +128,14 @@ func (s *Suite) PrepCounters() (hits, misses int64) {
 // Nil when the suite was built without NewSuite.
 func (s *Suite) Preps() *uarch.PrepCache { return s.preps }
 
+// SetStore points both the suite's workload pipeline and its
+// classification cache at the persistent artifact store. Call before the
+// first Workload or Simulate call.
+func (s *Suite) SetStore(st *artifact.Store) {
+	s.Store = st
+	s.preps.SetStore(st)
+}
+
 // CounterSources exposes the live workload-analysis and simulator-run
 // counters for metrics exporters; the values always match Counters.
 func (s *Suite) CounterSources() (workloads, simulations *metrics.Counter) {
@@ -148,19 +162,11 @@ func (s *Suite) Workload(name string) (*Workload, error) {
 	return e.w, e.err
 }
 
-// computeWorkload builds the full analysis bundle for one benchmark.
+// computeWorkload builds the full analysis bundle for one benchmark,
+// serving the trace and the analysis pass from the artifact store when
+// one is configured and warm.
 func (s *Suite) computeWorkload(name string) (*Workload, error) {
-	t, err := workload.Generate(name, s.N, s.Seed)
-	if err != nil {
-		return nil, err
-	}
-	points, err := iw.Characteristic(t, iw.DefaultWindows(), iw.Options{
-		Producers: trace.ComputeProducers(t),
-	})
-	if err != nil {
-		return nil, err
-	}
-	law, err := iw.Fit(points)
+	t, err := LoadOrGenerateTrace(s.Store, name, s.N, s.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -170,20 +176,20 @@ func (s *Suite) computeWorkload(name string) (*Workload, error) {
 	scfg.Latencies = s.Sim.Latencies
 	scfg.ROBSize = s.Machine.ROBSize
 	scfg.Warmup = s.Sim.Warmup
-	sum, err := stats.Analyze(t, scfg)
+	an, err := ComputeAnalysis(s.Store, t, iw.DefaultWindows(), scfg)
 	if err != nil {
 		return nil, err
 	}
-	inputs, err := core.InputsFromCurve(law, points, s.Machine.WindowSize, sum)
+	inputs, err := core.InputsFromCurve(an.Law, an.Points, s.Machine.WindowSize, an.Summary)
 	if err != nil {
 		return nil, err
 	}
 	return &Workload{
 		Name:    name,
 		Trace:   t,
-		Points:  points,
-		Law:     law,
-		Summary: sum,
+		Points:  an.Points,
+		Law:     an.Law,
+		Summary: an.Summary,
 		Inputs:  inputs,
 	}, nil
 }

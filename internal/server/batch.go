@@ -58,7 +58,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	sw := w.(*statusWriter)
 	var req BatchRequest
 	if err := decodeRequestLimit(r, &req, maxBatchBodyBytes); err != nil {
-		s.writeError(w, http.StatusBadRequest, "%s", err)
+		s.writeRequestError(w, err)
 		return
 	}
 	if len(req.Items) == 0 {
@@ -145,14 +145,10 @@ func (s *Server) batchItem(ctx context.Context, req PredictRequest) (item BatchI
 		if s.panicHook != nil {
 			s.panicHook(req.Bench)
 		}
-		t, err := s.traceFor(req.Bench, req.N, req.Seed)
-		if err != nil {
-			return 0, nil, err
-		}
 		if err := ctx.Err(); err != nil {
 			return 0, nil, err
 		}
-		rec, err := Predict(t, machine, ucfg, mode, req.Sim, s.suite.Preps())
+		rec, err := s.predictRecord(req, machine, ucfg, mode)
 		if err != nil {
 			return 0, nil, err
 		}

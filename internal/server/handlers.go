@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -23,6 +24,26 @@ const (
 	maxTraceLen = 5_000_000
 )
 
+// statusError is a request-decoding failure that dictates its own HTTP
+// status (e.g. 413 for an oversized body); plain errors map to 400.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// writeRequestError writes a decoding failure with its proper status:
+// the statusError's own code when it carries one, 400 otherwise.
+func (s *Server) writeRequestError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	var se *statusError
+	if errors.As(err, &se) {
+		code = se.code
+	}
+	s.writeError(w, code, "%s", err)
+}
+
 // decodeRequest parses a JSON request body strictly (unknown fields are
 // errors, as is trailing garbage).
 func decodeRequest(r *http.Request, v any) error {
@@ -30,9 +51,24 @@ func decodeRequest(r *http.Request, v any) error {
 }
 
 // decodeRequestLimit is decodeRequest with an explicit body bound;
-// /v1/batch allows a larger body than the single-object endpoints.
+// /v1/batch allows a larger body than the single-object endpoints. A
+// body over the bound is an explicit 413 naming the limit — never a
+// silent truncation misreported as malformed JSON.
 func decodeRequestLimit(r *http.Request, v any, limit int64) error {
-	dec := json.NewDecoder(io.LimitReader(r.Body, limit))
+	// Read the whole (bounded) body first: an over-limit body must
+	// always surface as a 413, even when its prefix happens to parse.
+	raw, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, limit))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &statusError{
+				code: http.StatusRequestEntityTooLarge,
+				msg:  fmt.Sprintf("request body exceeds the %d-byte limit", limit),
+			}
+		}
+		return fmt.Errorf("invalid request body: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("invalid request body: %v", err)
@@ -97,7 +133,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	sw := w.(*statusWriter)
 	var req PredictRequest
 	if err := decodeRequest(r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "%s", err)
+		s.writeRequestError(w, err)
 		return
 	}
 	if err := req.normalize(s.cfg); err != nil {
@@ -140,14 +176,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		if err := ctx.Err(); err != nil {
 			return 0, nil, err
 		}
-		t, err := s.traceFor(req.Bench, req.N, req.Seed)
-		if err != nil {
-			return 0, nil, err
-		}
-		if err := ctx.Err(); err != nil {
-			return 0, nil, err
-		}
-		rec, err := Predict(t, machine, ucfg, mode, req.Sim, s.suite.Preps())
+		rec, err := s.predictRecord(req, machine, ucfg, mode)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -195,7 +224,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	sw := w.(*statusWriter)
 	var spec experiments.SweepSpec
 	if err := decodeRequest(r, &spec); err != nil {
-		s.writeError(w, http.StatusBadRequest, "%s", err)
+		s.writeRequestError(w, err)
 		return
 	}
 	if err := spec.Validate(); err != nil {

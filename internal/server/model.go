@@ -15,8 +15,10 @@ import (
 	"strconv"
 	"strings"
 
+	"fomodel/internal/artifact"
 	"fomodel/internal/cache"
 	"fomodel/internal/core"
+	"fomodel/internal/experiments"
 	"fomodel/internal/isa"
 	"fomodel/internal/iw"
 	"fomodel/internal/stats"
@@ -174,33 +176,51 @@ type PredictRecord struct {
 	SimCPI   *float64      `json:"sim_cpi,omitempty"`
 }
 
+// predictStatsConfig is the functional-analysis configuration of the
+// predict pipeline: the paper's defaults with warmup, the machine's ROB
+// for the overlap statistics, and the simulator's TLB so the model's TLB
+// inputs stay consistent.
+func predictStatsConfig(machine core.Machine, ucfg uarch.Config) stats.Config {
+	scfg := stats.DefaultConfig()
+	scfg.Warmup = true
+	scfg.ROBSize = machine.ROBSize
+	scfg.TLB = ucfg.TLB
+	return scfg
+}
+
+// Analyze computes the trace-analysis bundle the predict pipeline
+// consumes — the IW characteristic and power-law fit (§3) plus the
+// functional trace statistics (§5 step 5) — loading it from the artifact
+// store when one is given and warm. A nil store always computes.
+func Analyze(store *artifact.Store, t *trace.Trace, machine core.Machine, ucfg uarch.Config) (*experiments.AnalysisArtifact, error) {
+	return experiments.ComputeAnalysis(store, t, iw.DefaultWindows(), predictStatsConfig(machine, ucfg))
+}
+
 // Predict runs the complete first-order pipeline for one trace: the IW
 // characteristic and power-law fit (§3), the functional trace statistics
 // (§5 step 5), and the model composition of equation (1) — plus, when
 // withSim is set, a detailed simulator run for the model-error column.
 // Simulator runs go through preps when non-nil, sharing classification
 // passes across configs; a nil preps simulates directly. The CLI's
-// fomodel tool and the daemon's /v1/predict handler both call this, which
-// is what makes their outputs byte-equivalent in content.
+// fomodel tool and the daemon's /v1/predict handler both call this (the
+// daemon via PredictWithAnalysis and its analysis caches), which is what
+// makes their outputs byte-equivalent in content.
 func Predict(t *trace.Trace, machine core.Machine, ucfg uarch.Config,
 	mode core.BranchPenaltyMode, withSim bool, preps *uarch.PrepCache) (PredictRecord, error) {
-	points, err := iw.Characteristic(t, iw.DefaultWindows(), iw.Options{})
+	an, err := Analyze(nil, t, machine, ucfg)
 	if err != nil {
 		return PredictRecord{}, err
 	}
-	law, err := iw.Fit(points)
-	if err != nil {
-		return PredictRecord{}, err
-	}
-	scfg := stats.DefaultConfig()
-	scfg.Warmup = true
-	scfg.ROBSize = machine.ROBSize
-	scfg.TLB = ucfg.TLB // keep the model's TLB inputs consistent
-	sum, err := stats.Analyze(t, scfg)
-	if err != nil {
-		return PredictRecord{}, err
-	}
-	inputs, err := core.InputsFromCurve(law, points, machine.WindowSize, sum)
+	return PredictWithAnalysis(an, t, machine, ucfg, mode, withSim, preps)
+}
+
+// PredictWithAnalysis is the cheap tail of Predict: it composes the
+// model answer from an already-computed (or store-served) analysis
+// bundle. Callers that cache bundles by content key — the daemon — pay
+// only this composition per request.
+func PredictWithAnalysis(an *experiments.AnalysisArtifact, t *trace.Trace, machine core.Machine, ucfg uarch.Config,
+	mode core.BranchPenaltyMode, withSim bool, preps *uarch.PrepCache) (PredictRecord, error) {
+	inputs, err := core.InputsFromCurve(an.Law, an.Points, machine.WindowSize, an.Summary)
 	if err != nil {
 		return PredictRecord{}, err
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"container/list"
 	"context"
 	"encoding/json"
 	"errors"
@@ -15,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"fomodel/internal/artifact"
 	"fomodel/internal/experiments"
 	"fomodel/internal/metrics"
 	"fomodel/internal/trace"
@@ -36,9 +38,19 @@ type Config struct {
 	MaxInflight int
 	// CacheEntries bounds the response cache (0 = 1024).
 	CacheEntries int
+	// TraceCacheEntries bounds the non-default (n, seed) trace cache;
+	// evicted traces release their prep-cache entries (0 = 64).
+	TraceCacheEntries int
+	// AnalysisCacheEntries bounds the in-memory analysis-bundle cache
+	// (0 = 128).
+	AnalysisCacheEntries int
 	// RequestTimeout is the per-request computation deadline
 	// (0 = 2 minutes).
 	RequestTimeout time.Duration
+	// Store, when non-nil, is the persistent workload-artifact store;
+	// traces, analyses, classification preps, and producer links are
+	// served from and written to it, surviving restarts.
+	Store *artifact.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +65,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 1024
+	}
+	if c.TraceCacheEntries <= 0 {
+		c.TraceCacheEntries = 64
+	}
+	if c.AnalysisCacheEntries <= 0 {
+		c.AnalysisCacheEntries = 128
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 2 * time.Minute
@@ -82,8 +100,13 @@ type Server struct {
 	reqMu    sync.Mutex
 	requests map[requestKey]*metrics.Counter
 
-	traceMu sync.Mutex
-	traces  map[traceKey]*traceEntry
+	// traces is the bounded LRU of non-default (bench, n, seed) traces;
+	// analysis holds the in-memory analysis bundles keyed by content.
+	traceMu        sync.Mutex
+	traces         map[traceKey]*traceEntry
+	traceOrder     *list.List // front = most recently used
+	traceEvictions metrics.Counter
+	analysis       *analysisCache
 
 	// gate, when non-nil, blocks every admitted /v1 request until the
 	// channel yields; tests use it to hold requests in flight
@@ -107,9 +130,14 @@ type traceKey struct {
 }
 
 type traceEntry struct {
+	key  traceKey
+	elem *list.Element
 	once sync.Once
-	t    *trace.Trace
-	err  error
+	// finished is set under traceMu after once completed; eviction skips
+	// unfinished entries so a waiter is never detached from its entry.
+	finished bool
+	t        *trace.Trace
+	err      error
 }
 
 // New builds a server. A nil logger discards logs.
@@ -120,17 +148,36 @@ func New(cfg Config, log *slog.Logger) *Server {
 	}
 	suite := experiments.NewSuite(cfg.N, cfg.Seed)
 	suite.Workers = cfg.Workers
+	suite.SetStore(cfg.Store)
 	return &Server{
-		cfg:      cfg,
-		log:      log,
-		suite:    suite,
-		cache:    newRespCache(cfg.CacheEntries),
-		start:    time.Now(),
-		latency:  metrics.NewHistogram(metrics.DefaultLatencyBounds()...),
-		slots:    make(chan struct{}, cfg.MaxInflight),
-		requests: make(map[requestKey]*metrics.Counter),
-		traces:   make(map[traceKey]*traceEntry),
+		cfg:        cfg,
+		log:        log,
+		suite:      suite,
+		cache:      newRespCache(cfg.CacheEntries),
+		start:      time.Now(),
+		latency:    metrics.NewHistogram(metrics.DefaultLatencyBounds()...),
+		slots:      make(chan struct{}, cfg.MaxInflight),
+		requests:   make(map[requestKey]*metrics.Counter),
+		traces:     make(map[traceKey]*traceEntry),
+		traceOrder: list.New(),
+		analysis:   newAnalysisCache(cfg.AnalysisCacheEntries),
 	}
+}
+
+// Warm precomputes every default workload bundle, filling the suite's
+// caches and — when a store is configured — persisting the trace,
+// analysis, producer, and prep artifacts so the next process boots warm.
+// It stops early when ctx is done.
+func (s *Server) Warm(ctx context.Context) error {
+	for _, name := range s.suite.Names {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := s.suite.Workload(name); err != nil {
+			return fmt.Errorf("warm %s: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // Handler returns the daemon's routing table. /v1 endpoints pass through
@@ -315,7 +362,11 @@ func (s *Server) finishComputeState(w *statusWriter, status int, body []byte, ca
 // traceFor returns the (bench, n, seed) trace, sharing the suite's
 // workload bundle when the request uses the server defaults (so predict,
 // sweep, and workload-listing traffic all hit one prep-cache keyspace)
-// and a dedicated single-flight trace cache otherwise.
+// and a dedicated single-flight trace cache otherwise. The dedicated
+// cache is a bounded LRU: evicting a trace also releases the prep-cache
+// entries it pinned, so sweeping many (n, seed) pairs cannot grow the
+// server's footprint without bound. Traces load through the artifact
+// store when one is configured.
 func (s *Server) traceFor(bench string, n int, seed uint64) (*trace.Trace, error) {
 	if n == s.cfg.N && seed == s.cfg.Seed {
 		w, err := s.suite.Workload(bench)
@@ -327,13 +378,57 @@ func (s *Server) traceFor(bench string, n int, seed uint64) (*trace.Trace, error
 	k := traceKey{bench: bench, n: n, seed: seed}
 	s.traceMu.Lock()
 	e, ok := s.traces[k]
-	if !ok {
-		e = &traceEntry{}
+	if ok {
+		s.traceOrder.MoveToFront(e.elem)
+	} else {
+		e = &traceEntry{key: k}
+		e.elem = s.traceOrder.PushFront(e)
 		s.traces[k] = e
+		s.evictTracesLocked()
 	}
 	s.traceMu.Unlock()
-	e.once.Do(func() { e.t, e.err = workload.Generate(bench, n, seed) })
+	e.once.Do(func() {
+		e.t, e.err = experiments.LoadOrGenerateTrace(s.cfg.Store, bench, n, seed)
+		s.traceMu.Lock()
+		e.finished = true
+		if e.err != nil && s.traces[k] == e {
+			// Failed loads leave the cache immediately so they cannot
+			// occupy capacity; waiters already joined on once share the
+			// error regardless.
+			s.traceOrder.Remove(e.elem)
+			delete(s.traces, k)
+		}
+		s.traceMu.Unlock()
+	})
 	return e.t, e.err
+}
+
+// evictTracesLocked trims the trace cache toward capacity, least
+// recently used first, skipping in-flight entries (a waiter may be
+// blocked on them). Each evicted trace releases its prep-cache entries:
+// the trace is about to become unreachable, so preps keyed to it could
+// never be hit again.
+func (s *Server) evictTracesLocked() {
+	for elem := s.traceOrder.Back(); elem != nil && len(s.traces) > s.cfg.TraceCacheEntries; {
+		prev := elem.Prev()
+		e := elem.Value.(*traceEntry)
+		if e.finished {
+			s.traceOrder.Remove(elem)
+			delete(s.traces, e.key)
+			s.traceEvictions.Inc()
+			if e.t != nil {
+				s.suite.Preps().Forget(e.t)
+			}
+		}
+		elem = prev
+	}
+}
+
+// traceCacheLen reports the dedicated trace cache's current size.
+func (s *Server) traceCacheLen() int {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	return len(s.traces)
 }
 
 // healthzResponse is the /healthz body.
@@ -413,6 +508,50 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP fomodeld_prep_cache_passes_total Classification passes computed.\n")
 	fmt.Fprintf(w, "# TYPE fomodeld_prep_cache_passes_total counter\n")
 	fmt.Fprintf(w, "fomodeld_prep_cache_passes_total %d\n", prepMisses.Load())
+	fmt.Fprintf(w, "# HELP fomodeld_prep_cache_evictions_total Prep-cache entries evicted by the LRU bound or trace eviction.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_prep_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "fomodeld_prep_cache_evictions_total %d\n", s.suite.Preps().Evictions())
+	prepEntries, prodEntries := s.suite.Preps().Len()
+	fmt.Fprintf(w, "# HELP fomodeld_prep_cache_entries Classification passes currently cached.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_prep_cache_entries gauge\n")
+	fmt.Fprintf(w, "fomodeld_prep_cache_entries %d\n", prepEntries+prodEntries)
+
+	fmt.Fprintf(w, "# HELP fomodeld_trace_cache_entries Non-default traces currently cached.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_trace_cache_entries gauge\n")
+	fmt.Fprintf(w, "fomodeld_trace_cache_entries %d\n", s.traceCacheLen())
+	fmt.Fprintf(w, "# HELP fomodeld_trace_cache_evictions_total Traces evicted from the bounded trace cache.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_trace_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "fomodeld_trace_cache_evictions_total %d\n", s.traceEvictions.Load())
+
+	anHits, anMisses := s.analysis.Stats()
+	fmt.Fprintf(w, "# HELP fomodeld_analysis_cache_hits_total Predict analyses served from the in-memory content-keyed cache.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_analysis_cache_hits_total counter\n")
+	fmt.Fprintf(w, "fomodeld_analysis_cache_hits_total %d\n", anHits)
+	fmt.Fprintf(w, "# HELP fomodeld_analysis_cache_misses_total Predict analyses computed or loaded from the store.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_analysis_cache_misses_total counter\n")
+	fmt.Fprintf(w, "fomodeld_analysis_cache_misses_total %d\n", anMisses)
+
+	if st := s.cfg.Store; st != nil {
+		hits, misses, corrupt, writes, evictions := st.Stats()
+		fmt.Fprintf(w, "# HELP fomodeld_artifact_store_hits_total Artifacts served from the persistent store.\n")
+		fmt.Fprintf(w, "# TYPE fomodeld_artifact_store_hits_total counter\n")
+		fmt.Fprintf(w, "fomodeld_artifact_store_hits_total %d\n", hits)
+		fmt.Fprintf(w, "# HELP fomodeld_artifact_store_misses_total Store lookups that found no artifact.\n")
+		fmt.Fprintf(w, "# TYPE fomodeld_artifact_store_misses_total counter\n")
+		fmt.Fprintf(w, "fomodeld_artifact_store_misses_total %d\n", misses)
+		fmt.Fprintf(w, "# HELP fomodeld_artifact_store_corrupt_total Artifacts rejected by checksum or framing validation.\n")
+		fmt.Fprintf(w, "# TYPE fomodeld_artifact_store_corrupt_total counter\n")
+		fmt.Fprintf(w, "fomodeld_artifact_store_corrupt_total %d\n", corrupt)
+		fmt.Fprintf(w, "# HELP fomodeld_artifact_store_writes_total Artifacts written to the store.\n")
+		fmt.Fprintf(w, "# TYPE fomodeld_artifact_store_writes_total counter\n")
+		fmt.Fprintf(w, "fomodeld_artifact_store_writes_total %d\n", writes)
+		fmt.Fprintf(w, "# HELP fomodeld_artifact_store_evictions_total Artifacts evicted by the store size bound.\n")
+		fmt.Fprintf(w, "# TYPE fomodeld_artifact_store_evictions_total counter\n")
+		fmt.Fprintf(w, "fomodeld_artifact_store_evictions_total %d\n", evictions)
+		fmt.Fprintf(w, "# HELP fomodeld_artifact_store_bytes Bytes currently stored on disk.\n")
+		fmt.Fprintf(w, "# TYPE fomodeld_artifact_store_bytes gauge\n")
+		fmt.Fprintf(w, "fomodeld_artifact_store_bytes %d\n", st.SizeBytes())
+	}
 
 	workloads, sims := s.suite.CounterSources()
 	fmt.Fprintf(w, "# HELP fomodeld_workload_analyses_total Workload analysis bundles computed.\n")

@@ -31,6 +31,10 @@ var magic = [4]byte{'F', 'O', 'T', '1'}
 
 const recordSize = 8 + 8 + 1 + 1 + 2 + 2 + 2
 
+// maxInstrs bounds any count field read from an encoded stream; a forged
+// header can never demand an unreasonable allocation.
+const maxInstrs = 1 << 31
+
 // Write encodes the trace to w in the binary trace format.
 func Write(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
@@ -99,7 +103,6 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: read count: %w", err)
 	}
 	count := binary.LittleEndian.Uint64(hdr[0:8])
-	const maxInstrs = 1 << 31
 	if count > maxInstrs {
 		return nil, fmt.Errorf("trace: unreasonable instruction count %d", count)
 	}
@@ -111,19 +114,73 @@ func Read(r io.Reader) (*Trace, error) {
 		initial = 1 << 20
 	}
 	t := &Trace{Name: string(nameBuf), Instrs: make([]Instruction, 0, initial)}
-	var rec [recordSize]byte
-	for i := uint64(0); i < count; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("trace: read record %d: %w", i, err)
+	// Decode in bulk chunks rather than one ReadFull per record: the
+	// per-record call overhead dominates decode time for daemon-sized
+	// traces, and the chunk bound keeps the guard above meaningful — a
+	// forged count still cannot force a huge up-front allocation.
+	const chunkRecords = 1 << 14
+	buf := make([]byte, 0, chunkRecords*recordSize)
+	for done := uint64(0); done < count; {
+		n := count - done
+		if n > chunkRecords {
+			n = chunkRecords
 		}
-		var in Instruction
-		decodeRecord(&rec, &in)
-		t.Instrs = append(t.Instrs, in)
+		b := buf[:int(n)*recordSize]
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, fmt.Errorf("trace: read record %d: %w", done, err)
+		}
+		base := len(t.Instrs)
+		t.Instrs = append(t.Instrs, make([]Instruction, n)...)
+		for i := 0; i < int(n); i++ {
+			decodeRecord((*[recordSize]byte)(b[i*recordSize:]), &t.Instrs[base+i])
+		}
+		done += n
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
 	return t, nil
+}
+
+// Producer-link binary format, used for artifact-store payloads:
+//
+//	magic [4]byte "FOP1"
+//	count uint64  number of links
+//	count × record: src1 int32, src2 int32
+//
+// Little-endian throughout, like the trace format above.
+
+var producersMagic = [4]byte{'F', 'O', 'P', '1'}
+
+// EncodeProducers serializes producer links for the artifact store.
+func EncodeProducers(prod []Producer) []byte {
+	buf := make([]byte, 0, 4+8+8*len(prod))
+	buf = append(buf, producersMagic[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(prod)))
+	for i := range prod {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(prod[i].Src1))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(prod[i].Src2))
+	}
+	return buf
+}
+
+// DecodeProducers deserializes producer links written by EncodeProducers,
+// verifying the record count against the framing.
+func DecodeProducers(data []byte) ([]Producer, error) {
+	if len(data) < 12 || [4]byte(data[:4]) != producersMagic {
+		return nil, fmt.Errorf("trace: bad producers header")
+	}
+	count := binary.LittleEndian.Uint64(data[4:12])
+	if count > maxInstrs || uint64(len(data)) != 12+8*count {
+		return nil, fmt.Errorf("trace: producers length mismatch (count %d, %d bytes)", count, len(data))
+	}
+	prod := make([]Producer, count)
+	for i := range prod {
+		off := 12 + 8*i
+		prod[i].Src1 = int32(binary.LittleEndian.Uint32(data[off : off+4]))
+		prod[i].Src2 = int32(binary.LittleEndian.Uint32(data[off+4 : off+8]))
+	}
+	return prod, nil
 }
 
 func decodeRecord(rec *[recordSize]byte, in *Instruction) {

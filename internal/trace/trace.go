@@ -50,6 +50,16 @@ func (in *Instruction) IsMem() bool {
 type Trace struct {
 	// Name identifies the workload that produced the trace (e.g. "gzip").
 	Name string
+	// ContentID, when non-empty, identifies the trace's *content*: the
+	// deterministic generation recipe (workload name, instruction count,
+	// seed, generator version) that fully determines every instruction.
+	// Two traces with equal ContentIDs are bit-identical even across
+	// processes and restarts, so caches and the artifact store may key
+	// derived products (producer links, classification preps, IW fits)
+	// by it instead of by pointer identity. Traces of unknown provenance
+	// (hand-built, or read from an external file) leave it empty and are
+	// keyed by identity instead.
+	ContentID string
 	// Instrs is the committed dynamic instruction sequence.
 	Instrs []Instruction
 }
@@ -60,26 +70,41 @@ func (t *Trace) Len() int { return len(t.Instrs) }
 // Validate checks structural invariants: classes are defined, register
 // numbers are within the architectural namespace, memory instructions carry
 // addresses, and only branches are marked taken.
+//
+// The loop is a branch-free-as-possible fast path (Validate runs over
+// every instruction of every decoded trace); the error construction
+// lives in validateInstr so the per-instruction check stays inlinable.
 func (t *Trace) Validate() error {
 	for i := range t.Instrs {
 		in := &t.Instrs[i]
-		if !in.Class.Valid() {
-			return fmt.Errorf("trace %q: instr %d has invalid class %d", t.Name, i, in.Class)
-		}
-		if err := checkReg(in.Dest); err != nil {
-			return fmt.Errorf("trace %q: instr %d dest: %v", t.Name, i, err)
-		}
-		if err := checkReg(in.Src1); err != nil {
-			return fmt.Errorf("trace %q: instr %d src1: %v", t.Name, i, err)
-		}
-		if err := checkReg(in.Src2); err != nil {
-			return fmt.Errorf("trace %q: instr %d src2: %v", t.Name, i, err)
-		}
-		if in.Taken && in.Class != isa.Branch {
-			return fmt.Errorf("trace %q: instr %d is taken but not a branch", t.Name, i)
+		if !in.Class.Valid() || !regOK(in.Dest) || !regOK(in.Src1) || !regOK(in.Src2) ||
+			(in.Taken && in.Class != isa.Branch) {
+			return t.validateInstr(i)
 		}
 	}
 	return nil
+}
+
+// validateInstr reports which invariant instruction i violates.
+func (t *Trace) validateInstr(i int) error {
+	in := &t.Instrs[i]
+	if !in.Class.Valid() {
+		return fmt.Errorf("trace %q: instr %d has invalid class %d", t.Name, i, in.Class)
+	}
+	if err := checkReg(in.Dest); err != nil {
+		return fmt.Errorf("trace %q: instr %d dest: %v", t.Name, i, err)
+	}
+	if err := checkReg(in.Src1); err != nil {
+		return fmt.Errorf("trace %q: instr %d src1: %v", t.Name, i, err)
+	}
+	if err := checkReg(in.Src2); err != nil {
+		return fmt.Errorf("trace %q: instr %d src2: %v", t.Name, i, err)
+	}
+	return fmt.Errorf("trace %q: instr %d is taken but not a branch", t.Name, i)
+}
+
+func regOK(r int16) bool {
+	return r == isa.RegNone || (r >= 0 && int(r) < isa.NumArchRegs)
 }
 
 func checkReg(r int16) error {

@@ -1,9 +1,12 @@
 package uarch
 
 import (
+	"container/list"
+	"encoding/binary"
 	"fmt"
 	"sync"
 
+	"fomodel/internal/artifact"
 	"fomodel/internal/cache"
 	"fomodel/internal/metrics"
 	"fomodel/internal/predictor"
@@ -33,6 +36,19 @@ type classKey struct {
 	warmup       bool
 }
 
+// classFormatVersion is the serialization version of classification
+// preps. It is part of every preps artifact key, so a change to the
+// classification semantics or the packed encoding invalidates stored
+// artifacts instead of reinterpreting them.
+const classFormatVersion = 1
+
+// artifactKey renders the key as the canonical content string used by
+// the artifact store. Every field is a scalar or a plain struct of
+// scalars, so %+v is a stable, collision-free rendering.
+func (k classKey) artifactKey() string {
+	return fmt.Sprintf("c%d|%+v", classFormatVersion, k)
+}
+
 // classificationKey projects cfg onto its classification-relevant subset.
 func classificationKey(cfg Config) classKey {
 	k := classKey{
@@ -56,12 +72,28 @@ func classificationKey(cfg Config) classKey {
 	return k
 }
 
-// prepsKey identifies one cached classification: the trace (by identity —
-// traces are built once and never mutated by the simulators) and the
-// classification-relevant config subset.
+// traceID identifies a trace by content when possible and by pointer
+// identity otherwise. Content-identified traces (from the deterministic
+// workload generators) share cache entries across distinct in-memory
+// copies, across processes, and across restarts; anonymous traces fall
+// back to identity, exactly as safe as the old pointer keying.
+type traceID struct {
+	content string
+	ptr     *trace.Trace
+}
+
+func idOf(t *trace.Trace) traceID {
+	if t.ContentID != "" {
+		return traceID{content: t.ContentID}
+	}
+	return traceID{ptr: t}
+}
+
+// prepsKey identifies one cached classification: the trace's content (or
+// identity) and the classification-relevant config subset.
 type prepsKey struct {
-	trace *trace.Trace
-	key   classKey
+	id  traceID
+	key classKey
 }
 
 // prepsEntry is one single-flight cache slot: the first caller classifies
@@ -69,16 +101,35 @@ type prepsKey struct {
 // the outcome. Errors are cached too — classification is deterministic,
 // so retrying cannot change the result.
 type prepsEntry struct {
-	once  sync.Once
-	preps []prep
-	err   error
+	key  prepsKey
+	elem *list.Element
+	once sync.Once
+	// finished is set under the cache mutex after once completed;
+	// eviction only considers finished entries, so a caller blocked on
+	// the computation can never be detached from it.
+	finished bool
+	preps    []prep
+	err      error
 }
 
 // prodEntry single-flights the per-trace producer-link computation.
 type prodEntry struct {
-	once sync.Once
-	prod []trace.Producer
+	id       traceID
+	elem     *list.Element
+	once     sync.Once
+	finished bool
+	prod     []trace.Producer
 }
+
+// Default entry bounds. Entries are large — a preps slice holds one
+// record per dynamic instruction — so the bounds are what keep a client
+// sweeping seeds (each sweep step a fresh content key) from growing the
+// cache without limit. At the daemon's default 500k instructions, 64
+// preps entries cap that cache's footprint at roughly half a gigabyte.
+const (
+	defaultMaxPreps = 64
+	defaultMaxProds = 32
+)
 
 // PrepCache memoizes the expensive one-time preparation work of Simulate
 // across configs and runs: the functional classification pass (caches,
@@ -89,6 +140,15 @@ type prodEntry struct {
 // timing-side parameters, so with the cache they classify each trace once
 // instead of once per config.
 //
+// Entries are keyed by trace *content* (trace.Trace.ContentID) when the
+// trace carries it, falling back to pointer identity for anonymous
+// traces, and both maps are bounded LRUs: a workload population of
+// unbounded size (seed sweeps, per-user workloads) recycles slots
+// instead of growing without bound. With a Store attached, evicted or
+// never-computed classifications are served from disk when a valid
+// artifact exists, and fresh computations are written back — that is
+// what carries prep work across daemon restarts.
+//
 // The cache is safe for concurrent use and single-flight: concurrent
 // requests for the same key block on one computation and share its
 // result, so a parallel sweep performs exactly the same number of
@@ -98,22 +158,65 @@ type prodEntry struct {
 //
 // A nil *PrepCache is valid and simply disables caching.
 type PrepCache struct {
-	mu    sync.Mutex
-	preps map[prepsKey]*prepsEntry
-	prods map[*trace.Trace]*prodEntry
+	mu        sync.Mutex
+	preps     map[prepsKey]*prepsEntry
+	prods     map[traceID]*prodEntry
+	prepOrder *list.List // front = most recently used
+	prodOrder *list.List
+	maxPreps  int
+	maxProds  int
+	store     *artifact.Store
 
 	// hits and misses use the shared metrics counter type so the CLI's
 	// -timing report and the daemon's /metrics endpoint read the same
-	// source (see Counters).
+	// source (see Counters). A request served from the artifact store
+	// counts as a miss for these (no in-memory entry existed) and as a
+	// hit in the store's own counters.
 	hits, misses metrics.Counter
+	evictions    metrics.Counter
 }
 
-// NewPrepCache returns an empty cache.
+// NewPrepCache returns an empty cache with the default entry bounds.
 func NewPrepCache() *PrepCache {
 	return &PrepCache{
-		preps: make(map[prepsKey]*prepsEntry),
-		prods: make(map[*trace.Trace]*prodEntry),
+		preps:     make(map[prepsKey]*prepsEntry),
+		prods:     make(map[traceID]*prodEntry),
+		prepOrder: list.New(),
+		prodOrder: list.New(),
+		maxPreps:  defaultMaxPreps,
+		maxProds:  defaultMaxProds,
 	}
+}
+
+// SetLimits bounds the two entry maps (preps, producer links).
+// Non-positive values keep the current bound. Safe to call at any time;
+// shrinking evicts immediately.
+func (pc *PrepCache) SetLimits(maxPreps, maxProds int) {
+	if pc == nil {
+		return
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if maxPreps > 0 {
+		pc.maxPreps = maxPreps
+	}
+	if maxProds > 0 {
+		pc.maxProds = maxProds
+	}
+	pc.evictLocked()
+}
+
+// SetStore attaches the persistent artifact store: classifications and
+// producer links of content-identified traces are read from it before
+// being computed, and written back after a computation. A nil store
+// detaches.
+func (pc *PrepCache) SetStore(s *artifact.Store) {
+	if pc == nil {
+		return
+	}
+	pc.mu.Lock()
+	pc.store = s
+	pc.mu.Unlock()
 }
 
 // Simulate is Simulate with the preparation work served from the cache.
@@ -137,43 +240,166 @@ func (pc *PrepCache) Simulate(t *trace.Trace, cfg Config) (*Result, error) {
 }
 
 // classified returns the cached classification of (t, cfg), computing it
-// on first use.
+// (or loading it from the artifact store) on first use.
 func (pc *PrepCache) classified(t *trace.Trace, cfg Config) ([]prep, error) {
-	k := prepsKey{trace: t, key: classificationKey(cfg)}
+	k := prepsKey{id: idOf(t), key: classificationKey(cfg)}
 	pc.mu.Lock()
 	e, ok := pc.preps[k]
-	if !ok {
-		e = &prepsEntry{}
+	if ok {
+		pc.prepOrder.MoveToFront(e.elem)
+	} else {
+		e = &prepsEntry{key: k}
+		e.elem = pc.prepOrder.PushFront(e)
 		pc.preps[k] = e
+		pc.evictLocked()
 	}
+	store := pc.store
 	pc.mu.Unlock()
 	if ok {
 		pc.hits.Inc()
 	} else {
 		pc.misses.Inc()
 	}
-	e.once.Do(func() { e.preps, e.err = classify(t, cfg) })
+	e.once.Do(func() {
+		e.preps, e.err = loadOrClassify(store, t, cfg, k.key)
+		pc.mu.Lock()
+		e.finished = true
+		pc.mu.Unlock()
+	})
 	return e.preps, e.err
+}
+
+// loadOrClassify serves the classification from the artifact store when
+// the trace is content-identified and a valid artifact exists, and
+// computes (and stores) it otherwise.
+func loadOrClassify(store *artifact.Store, t *trace.Trace, cfg Config, k classKey) ([]prep, error) {
+	akey := ""
+	if store != nil && t.ContentID != "" {
+		akey = t.ContentID + "|" + k.artifactKey()
+		if b, ok := store.Get("preps", akey); ok {
+			if preps, err := decodePreps(b, t.Len()); err == nil {
+				return preps, nil
+			}
+			// Structurally valid file, stale content (e.g. written for a
+			// different trace length): recompute and overwrite below.
+		}
+	}
+	preps, err := classify(t, cfg)
+	if err == nil && akey != "" {
+		store.Put("preps", akey, encodePreps(preps))
+	}
+	return preps, err
 }
 
 // producers returns the cached producer links of t, computing them on
 // first use.
 func (pc *PrepCache) producers(t *trace.Trace) []trace.Producer {
+	id := idOf(t)
 	pc.mu.Lock()
-	e, ok := pc.prods[t]
-	if !ok {
-		e = &prodEntry{}
-		pc.prods[t] = e
+	e, ok := pc.prods[id]
+	if ok {
+		pc.prodOrder.MoveToFront(e.elem)
+	} else {
+		e = &prodEntry{id: id}
+		e.elem = pc.prodOrder.PushFront(e)
+		pc.prods[id] = e
+		pc.evictLocked()
 	}
+	store := pc.store
 	pc.mu.Unlock()
-	e.once.Do(func() { e.prod = trace.ComputeProducers(t) })
+	e.once.Do(func() {
+		e.prod = loadOrComputeProducers(store, t)
+		pc.mu.Lock()
+		e.finished = true
+		pc.mu.Unlock()
+	})
 	return e.prod
 }
 
+func loadOrComputeProducers(store *artifact.Store, t *trace.Trace) []trace.Producer {
+	if store != nil && t.ContentID != "" {
+		if b, ok := store.Get("prods", t.ContentID); ok {
+			if prod, err := trace.DecodeProducers(b); err == nil && len(prod) == t.Len() {
+				return prod
+			}
+		}
+	}
+	prod := trace.ComputeProducers(t)
+	if store != nil && t.ContentID != "" {
+		store.Put("prods", t.ContentID, trace.EncodeProducers(prod))
+	}
+	return prod
+}
+
+// evictLocked trims both maps toward their bounds, least-recently-used
+// first, skipping entries whose computation is still in flight: those
+// may have callers blocked on them, and every entry must stay reachable
+// until its fate is decided. An in-flight overshoot is bounded by the
+// number of concurrent computations.
+func (pc *PrepCache) evictLocked() {
+	for elem := pc.prepOrder.Back(); elem != nil && len(pc.preps) > pc.maxPreps; {
+		prev := elem.Prev()
+		e := elem.Value.(*prepsEntry)
+		if e.finished {
+			pc.prepOrder.Remove(elem)
+			delete(pc.preps, e.key)
+			pc.evictions.Inc()
+		}
+		elem = prev
+	}
+	for elem := pc.prodOrder.Back(); elem != nil && len(pc.prods) > pc.maxProds; {
+		prev := elem.Prev()
+		e := elem.Value.(*prodEntry)
+		if e.finished {
+			pc.prodOrder.Remove(elem)
+			delete(pc.prods, e.id)
+			pc.evictions.Inc()
+		}
+		elem = prev
+	}
+}
+
+// Forget drops every cached entry derived from t — its producer links
+// and all classifications, for any config. Callers that evict a trace
+// from their own cache (the daemon's bounded trace cache) use it to
+// release the prep entries that trace populated; with a store attached,
+// the artifacts remain on disk, so a later request for the same content
+// re-warms cheaply instead of recomputing.
+func (pc *PrepCache) Forget(t *trace.Trace) {
+	if pc == nil || t == nil {
+		return
+	}
+	id := idOf(t)
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if e, ok := pc.prods[id]; ok && e.finished {
+		pc.prodOrder.Remove(e.elem)
+		delete(pc.prods, id)
+	}
+	for k, e := range pc.preps {
+		if k.id == id && e.finished {
+			pc.prepOrder.Remove(e.elem)
+			delete(pc.preps, k)
+		}
+	}
+}
+
+// Len reports the current entry counts of the two maps (including
+// in-flight entries). Zero on a nil cache.
+func (pc *PrepCache) Len() (preps, prods int) {
+	if pc == nil {
+		return 0, 0
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.preps), len(pc.prods)
+}
+
 // Stats reports how many classification requests were served from the
-// cache (hits) versus computed (misses). A request that joins an
-// in-flight computation counts as a hit: it performed no work of its own.
-// Safe for concurrent use; zero on a nil cache.
+// cache (hits) versus computed or loaded from the store (misses). A
+// request that joins an in-flight computation counts as a hit: it
+// performed no work of its own. Safe for concurrent use; zero on a nil
+// cache.
 func (pc *PrepCache) Stats() (hits, misses int64) {
 	if pc == nil {
 		return 0, 0
@@ -189,4 +415,62 @@ func (pc *PrepCache) Counters() (hits, misses *metrics.Counter) {
 		return nil, nil
 	}
 	return &pc.hits, &pc.misses
+}
+
+// Evictions exposes the live eviction counter; nil on a nil cache.
+func (pc *PrepCache) Evictions() *metrics.Counter {
+	if pc == nil {
+		return nil
+	}
+	return &pc.evictions
+}
+
+// Packed preps format (artifact payloads): magic, count, then one byte
+// per instruction — bits 0-1 the I-side cache.Result, bits 2-3 the
+// D-side result, bit 4 the mispredict flag, bit 5 the TLB-miss flag.
+var prepsMagic = [4]byte{'F', 'O', 'C', '1'}
+
+func encodePreps(preps []prep) []byte {
+	buf := make([]byte, 0, 4+8+len(preps))
+	buf = append(buf, prepsMagic[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(preps)))
+	for i := range preps {
+		p := &preps[i]
+		b := uint8(p.ires)&3 | (uint8(p.dres)&3)<<2
+		if p.misp {
+			b |= 1 << 4
+		}
+		if p.tlbMiss {
+			b |= 1 << 5
+		}
+		buf = append(buf, b)
+	}
+	return buf
+}
+
+func decodePreps(data []byte, wantLen int) ([]prep, error) {
+	if len(data) < 12 || [4]byte(data[:4]) != prepsMagic {
+		return nil, fmt.Errorf("uarch: bad preps header")
+	}
+	count := binary.LittleEndian.Uint64(data[4:12])
+	if count != uint64(wantLen) || uint64(len(data)) != 12+count {
+		return nil, fmt.Errorf("uarch: preps length mismatch (count %d, want %d, %d bytes)",
+			count, wantLen, len(data))
+	}
+	preps := make([]prep, count)
+	for i := range preps {
+		b := data[12+i]
+		ires := cache.Result(b & 3)
+		dres := cache.Result(b >> 2 & 3)
+		if ires > cache.LongMiss || dres > cache.LongMiss || b>>6 != 0 {
+			return nil, fmt.Errorf("uarch: invalid preps record %d (0x%02x)", i, b)
+		}
+		preps[i] = prep{
+			ires:    ires,
+			dres:    dres,
+			misp:    b&(1<<4) != 0,
+			tlbMiss: b&(1<<5) != 0,
+		}
+	}
+	return preps, nil
 }

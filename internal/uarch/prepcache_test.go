@@ -5,10 +5,12 @@ import (
 	"sync"
 	"testing"
 
+	"fomodel/internal/artifact"
 	"fomodel/internal/cache"
 	"fomodel/internal/predictor"
 	"fomodel/internal/rng"
 	"fomodel/internal/trace"
+	"fomodel/internal/workload"
 )
 
 // randomConfig draws a structurally valid configuration spanning both
@@ -262,5 +264,196 @@ func TestPrepCacheSingleFlight(t *testing.T) {
 	}
 	if _, misses := pc.Stats(); misses != 1 {
 		t.Errorf("single-flight violated: %d classifications for one key", misses)
+	}
+}
+
+// TestPrepCacheContentKeySharing checks content keying: two separately
+// generated traces with the same recipe carry equal ContentIDs and share
+// one classification entry, even though they are distinct allocations.
+func TestPrepCacheContentKeySharing(t *testing.T) {
+	t1, err := workload.Generate("gzip", 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := workload.Generate("gzip", 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 == t2 {
+		t.Fatal("expected distinct trace allocations")
+	}
+	if t1.ContentID == "" || t1.ContentID != t2.ContentID {
+		t.Fatalf("content IDs %q vs %q, want equal and non-empty", t1.ContentID, t2.ContentID)
+	}
+	pc := NewPrepCache()
+	cfg := DefaultConfig()
+	r1, err := pc.Simulate(t1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := pc.Simulate(t2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("same-content traces produced different results")
+	}
+	hits, misses := pc.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("got %d hits, %d misses; want 1 hit, 1 miss (shared content entry)", hits, misses)
+	}
+	if preps, prods := pc.Len(); preps != 1 || prods != 1 {
+		t.Errorf("cache holds %d preps, %d prods entries; want 1 and 1", preps, prods)
+	}
+}
+
+// TestPrepCacheBounded sweeps many distinct contents through a small
+// cache and checks both maps respect their LRU bounds.
+func TestPrepCacheBounded(t *testing.T) {
+	pc := NewPrepCache()
+	pc.SetLimits(4, 3)
+	cfg := DefaultConfig()
+	for seed := uint64(1); seed <= 12; seed++ {
+		tr, err := workload.Generate("gzip", 1500, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pc.Simulate(tr, cfg); err != nil {
+			t.Fatal(err)
+		}
+		preps, prods := pc.Len()
+		if preps > 4 || prods > 3 {
+			t.Fatalf("seed %d: cache grew past its bounds (%d preps, %d prods)", seed, preps, prods)
+		}
+	}
+	if pc.Evictions().Load() == 0 {
+		t.Error("sweep over 12 contents evicted nothing")
+	}
+	// Shrinking the limits evicts immediately.
+	pc.SetLimits(1, 1)
+	if preps, prods := pc.Len(); preps != 1 || prods != 1 {
+		t.Errorf("after shrink: %d preps, %d prods entries; want 1 and 1", preps, prods)
+	}
+}
+
+// TestPrepCacheForget checks Forget releases every entry derived from a
+// trace — producer links and classifications under every config — while
+// leaving other traces' entries alone.
+func TestPrepCacheForget(t *testing.T) {
+	tr1, err := workload.Generate("gzip", 1500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := workload.Generate("gcc", 1500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := NewPrepCache()
+	cfgA := DefaultConfig()
+	cfgB := DefaultConfig()
+	cfgB.Warmup = !cfgB.Warmup
+	for _, tr := range []*trace.Trace{tr1, tr2} {
+		for _, cfg := range []Config{cfgA, cfgB} {
+			if _, err := pc.Simulate(tr, cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if preps, prods := pc.Len(); preps != 4 || prods != 2 {
+		t.Fatalf("setup: %d preps, %d prods entries; want 4 and 2", preps, prods)
+	}
+	pc.Forget(tr1)
+	if preps, prods := pc.Len(); preps != 2 || prods != 1 {
+		t.Errorf("after Forget: %d preps, %d prods entries; want 2 and 1", preps, prods)
+	}
+	// The surviving trace still hits.
+	_, missesBefore := pc.Stats()
+	if _, err := pc.Simulate(tr2, cfgA); err != nil {
+		t.Fatal(err)
+	}
+	if _, missesAfter := pc.Stats(); missesAfter != missesBefore {
+		t.Error("Forget of one trace invalidated another trace's entries")
+	}
+}
+
+// TestPrepCacheStoreRoundTrip checks that a second cache attached to the
+// same artifact store serves classifications and producer links from
+// disk with results identical to the fresh computation.
+func TestPrepCacheStoreRoundTrip(t *testing.T) {
+	st, err := artifact.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.Generate("mcf", 2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	tlb := cache.DefaultTLB()
+	cfg.TLB = &tlb
+
+	pc1 := NewPrepCache()
+	pc1.SetStore(st)
+	ref, err := pc1.Simulate(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, writes, _ := st.Stats(); writes < 2 {
+		t.Fatalf("expected preps and prods artifacts written, got %d writes", writes)
+	}
+
+	// A fresh cache (a new process, in effect) with the same store and a
+	// freshly generated trace of the same content.
+	tr2, err := workload.Generate("mcf", 2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc2 := NewPrepCache()
+	pc2.SetStore(st)
+	hitsBefore, _, _, _, _ := st.Stats()
+	got, err := pc2.Simulate(tr2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Error("store-served simulation differs from fresh computation")
+	}
+	hitsAfter, _, _, _, _ := st.Stats()
+	if hitsAfter < hitsBefore+2 {
+		t.Errorf("expected preps and prods store hits, got %d new hits", hitsAfter-hitsBefore)
+	}
+}
+
+// TestPrepsCodecRoundTrip exercises the packed preps encoding across all
+// flag combinations, plus its rejection of damaged payloads.
+func TestPrepsCodecRoundTrip(t *testing.T) {
+	var preps []prep
+	for ires := cache.Hit; ires <= cache.LongMiss; ires++ {
+		for dres := cache.Hit; dres <= cache.LongMiss; dres++ {
+			for _, misp := range []bool{false, true} {
+				for _, tlbMiss := range []bool{false, true} {
+					preps = append(preps, prep{ires: ires, dres: dres, misp: misp, tlbMiss: tlbMiss})
+				}
+			}
+		}
+	}
+	enc := encodePreps(preps)
+	dec, err := decodePreps(enc, len(preps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(preps, dec) {
+		t.Error("packed preps did not round-trip")
+	}
+	if _, err := decodePreps(enc, len(preps)+1); err == nil {
+		t.Error("wrong expected length not rejected")
+	}
+	if _, err := decodePreps(enc[:len(enc)-1], len(preps)); err == nil {
+		t.Error("truncated payload not rejected")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[12] = 0xff
+	if _, err := decodePreps(bad, len(preps)); err == nil {
+		t.Error("invalid record byte not rejected")
 	}
 }

@@ -450,8 +450,24 @@ func (g *Generator) nextColdAddr() uint64 {
 	return a
 }
 
+// GenVersion is the trace-generation algorithm version. It is part of
+// every ContentID, so any change to the generator (profiles, rng
+// consumption order, block layout) invalidates content-keyed caches and
+// stored artifacts instead of serving traces that no longer match what
+// the current code would generate.
+const GenVersion = 1
+
+// ContentID returns the content key of the trace Generate(name, n, seed)
+// produces: generation is deterministic, so the recipe fully determines
+// every instruction. Caches and the artifact store use it to recognize
+// "the same trace" across pointers, processes, and restarts.
+func ContentID(name string, n int, seed uint64) string {
+	return fmt.Sprintf("%s|n=%d|seed=%d|g%d", name, n, seed, GenVersion)
+}
+
 // Generate is a convenience that builds a generator for the named profile
-// and produces a trace of at least n instructions.
+// and produces a trace of at least n instructions. The returned trace
+// carries the ContentID of its recipe.
 func Generate(name string, n int, seed uint64) (*trace.Trace, error) {
 	prof, err := ByName(name)
 	if err != nil {
@@ -461,5 +477,10 @@ func Generate(name string, n int, seed uint64) (*trace.Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	return g.Generate(n)
+	t, err := g.Generate(n)
+	if err != nil {
+		return nil, err
+	}
+	t.ContentID = ContentID(name, n, seed)
+	return t, nil
 }

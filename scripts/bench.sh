@@ -13,18 +13,20 @@
 # benchmarks.
 #
 # Server mode drives the fomodeld handler chain end to end — cache-hot
-# and cache-cold /v1/predict plus a 12-cell /v1/sweep at 1 worker and at
-# GOMAXPROCS workers — and records req/sec and latency in BENCH_PR4.json.
+# and cache-cold /v1/predict, the cold-start-after-warm path (a fresh
+# server per request on a warm artifact store), plus a 12-cell /v1/sweep
+# at 1 worker and at GOMAXPROCS workers — and records req/sec and the
+# cold/hot ratios in BENCH_PR6.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [ "${1:-}" = "server" ]; then
-    out=${2:-BENCH_PR4.json}
+    out=${2:-BENCH_PR6.json}
     tmp=$(mktemp)
     trap 'rm -f "$tmp"' EXIT
     echo "== timed: fomodeld load benchmarks" >&2
     go test -run '^$' \
-        -bench 'BenchmarkPredictHot$|BenchmarkPredictCold$|BenchmarkSweepWorkers1$|BenchmarkSweepWorkersN$' \
+        -bench 'BenchmarkPredictHot$|BenchmarkPredictCold$|BenchmarkPredictColdWarmStore$|BenchmarkSweepWorkers1$|BenchmarkSweepWorkersN$' \
         -benchmem -benchtime=20x ./internal/server/ | tee "$tmp" >&2
     awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v procs="$(nproc)" '
     /^Benchmark/ {
@@ -39,8 +41,14 @@ if [ "${1:-}" = "server" ]; then
             ns["BenchmarkPredictHot"], 1e9 / ns["BenchmarkPredictHot"]
         printf "    \"cache_cold\": {\"ns_per_req\": %d, \"req_per_sec\": %.1f},\n", \
             ns["BenchmarkPredictCold"], 1e9 / ns["BenchmarkPredictCold"]
-        printf "    \"hot_over_cold\": %.0f\n  },\n", \
+        printf "    \"cold_warm_store\": {\"ns_per_req\": %d, \"req_per_sec\": %.0f},\n", \
+            ns["BenchmarkPredictColdWarmStore"], 1e9 / ns["BenchmarkPredictColdWarmStore"]
+        printf "    \"hot_over_cold\": %.0f,\n", \
             ns["BenchmarkPredictCold"] / ns["BenchmarkPredictHot"]
+        printf "    \"warm_store_cold_over_hot\": %.1f,\n", \
+            ns["BenchmarkPredictColdWarmStore"] / ns["BenchmarkPredictHot"]
+        printf "    \"store_speedup_over_cold\": %.1f\n  },\n", \
+            ns["BenchmarkPredictCold"] / ns["BenchmarkPredictColdWarmStore"]
         printf "  \"sweep_12_cells\": {\n"
         printf "    \"workers_1\": {\"ns_per_req\": %d},\n", ns["BenchmarkSweepWorkers1"]
         printf "    \"workers_n\": {\"ns_per_req\": %d},\n", ns["BenchmarkSweepWorkersN"]
