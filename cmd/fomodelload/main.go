@@ -1,0 +1,25 @@
+// Command fomodelload is a closed-loop /v1/predict load generator for
+// benchmarking a fomodeld daemon or a fomodelproxy fleet: it drives a
+// fixed keyset (workloads × ROB sizes) in the LRU-adversarial cyclic
+// order and reports throughput, error count, and the endpoint-reported
+// cache hit rate as JSON. See internal/cli.Fomodelload for the flags.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"fomodel/internal/cli"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := cli.Fomodelload(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fomodelload:", err)
+		os.Exit(1)
+	}
+}

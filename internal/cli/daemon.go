@@ -30,6 +30,7 @@ func Fomodeld(ctx context.Context, args []string, out io.Writer) error {
 	inflight := fs.Int("max-inflight", 0, "concurrent API requests before 429 shedding (0 = 2×GOMAXPROCS)")
 	cacheEntries := fs.Int("cache", 1024, "response cache capacity in entries")
 	traceEntries := fs.Int("trace-cache", 64, "non-default trace cache capacity in entries")
+	analysisEntries := fs.Int("analysis-cache", 128, "in-memory analysis bundle cache capacity in entries")
 	reqTimeout := fs.Duration("request-timeout", 2*time.Minute, "per-request computation deadline")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	storeDir := fs.String("store", "", "workload-artifact store directory (empty = no persistence)")
@@ -53,25 +54,30 @@ func Fomodeld(ctx context.Context, args []string, out io.Writer) error {
 		logger.Info("artifact store open", "dir", store.Dir(), "bytes", store.SizeBytes())
 	}
 	srv := server.New(server.Config{
-		N:                 *n,
-		Seed:              *seed,
-		Workers:           *parallel,
-		MaxInflight:       *inflight,
-		CacheEntries:      *cacheEntries,
-		TraceCacheEntries: *traceEntries,
-		RequestTimeout:    *reqTimeout,
-		Store:             store,
+		N:                    *n,
+		Seed:                 *seed,
+		Workers:              *parallel,
+		MaxInflight:          *inflight,
+		CacheEntries:         *cacheEntries,
+		TraceCacheEntries:    *traceEntries,
+		AnalysisCacheEntries: *analysisEntries,
+		RequestTimeout:       *reqTimeout,
+		Store:                store,
 	}, logger)
 	if *warm {
 		// Warm in the background so the listener is up immediately; the
 		// first requests for a still-cold workload simply join the warm
-		// computation through the suite's single-flight cache.
+		// computation through the suite's single-flight cache. Until the
+		// warm-up completes, /readyz answers 503 so a routing proxy keeps
+		// this cold replica out of its ring; /healthz stays 200 throughout.
+		srv.SetReady(false)
 		go func() {
 			start := time.Now()
 			if err := srv.Warm(ctx); err != nil {
 				logger.Info("warm-up stopped", "err", err.Error())
 				return
 			}
+			srv.SetReady(true)
 			logger.Info("warm-up complete", "dur_ms", time.Since(start).Milliseconds())
 		}()
 	}

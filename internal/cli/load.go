@@ -1,0 +1,167 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fomodel/internal/client"
+	"fomodel/internal/server"
+	"fomodel/internal/workload"
+)
+
+// loadReport is fomodelload's JSON result: client-side counts of what a
+// serving endpoint (a single daemon or a proxy fleet) did under a fixed
+// keyset, including the X-Cache hit rate the endpoint reported — the
+// number the PR7 benchmark compares across routing policies. GOMAXPROCS
+// and CPUs record the generator's own parallelism so a single-CPU
+// result cannot masquerade as a scaling one.
+type loadReport struct {
+	URL        string  `json:"url"`
+	DurationS  float64 `json:"duration_s"`
+	Keys       int     `json:"keys"`
+	Requests   int64   `json:"requests"`
+	Errors     int64   `json:"errors"`
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	HitRate    float64 `json:"hit_rate"`
+	ReqPerSec  float64 `json:"req_per_sec"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	CPUs       int     `json:"cpus"`
+}
+
+// Fomodelload implements cmd/fomodelload: a closed-loop load generator
+// for /v1/predict against a daemon or proxy. Its keyset is the cross
+// product of the first -benches workloads and the -robs ROB sizes, and
+// each worker walks the keyset cyclically through a shared cursor — the
+// classic LRU-adversarial access pattern, so a cache smaller than the
+// keyset thrashes while a sharded fleet whose partitions each fit
+// stays hot. The JSON report goes to out.
+func Fomodelload(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fomodelload", flag.ContinueOnError)
+	fs.SetOutput(out)
+	url := fs.String("url", "http://127.0.0.1:8760", "serving endpoint base URL")
+	duration := fs.Duration("duration", 5*time.Second, "timed run length")
+	conc := fs.Int("concurrency", 4, "concurrent closed-loop workers")
+	benches := fs.Int("benches", 0, "workloads in the keyset (0 = all)")
+	robs := fs.String("robs", "128,160,192", "comma-separated ROB sizes forming the keyset")
+	warmup := fs.Bool("warmup", true, "serially touch every key once before the timed run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("fomodelload: unexpected argument %q", fs.Arg(0))
+	}
+
+	names := workload.Names()
+	if *benches > 0 && *benches < len(names) {
+		names = names[:*benches]
+	}
+	var robVals []int
+	for _, s := range strings.Split(*robs, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return fmt.Errorf("fomodelload: bad -robs value %q", s)
+		}
+		robVals = append(robVals, v)
+	}
+	if len(robVals) == 0 {
+		return fmt.Errorf("fomodelload: -robs requires at least one ROB size")
+	}
+	var keyset [][]byte
+	for _, rob := range robVals {
+		for _, name := range names {
+			payload, err := json.Marshal(server.PredictRequest{
+				Bench:   name,
+				Machine: server.MachineSpec{ROB: rob},
+			})
+			if err != nil {
+				return err
+			}
+			keyset = append(keyset, payload)
+		}
+	}
+
+	cl := client.NewPooled(*url, *conc)
+	cl.MaxRetries = -1 // shed responses count as errors, not stalls
+	shoot := func(ctx context.Context, payload []byte) (hit bool, err error) {
+		resp, err := cl.DoRaw(ctx, http.MethodPost, "/v1/predict", payload, nil, false)
+		if err != nil {
+			return false, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return false, fmt.Errorf("HTTP %d", resp.StatusCode)
+		}
+		return resp.Header.Get("X-Cache") == "hit", nil
+	}
+
+	if *warmup {
+		for _, payload := range keyset {
+			if _, err := shoot(ctx, payload); err != nil {
+				return fmt.Errorf("fomodelload: warmup: %w", err)
+			}
+		}
+	}
+
+	var requests, errors, hits atomic.Int64
+	var cursor atomic.Uint64
+	runCtx, cancel := context.WithTimeout(ctx, *duration)
+	defer cancel()
+	begin := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for runCtx.Err() == nil {
+				payload := keyset[cursor.Add(1)%uint64(len(keyset))]
+				hit, err := shoot(runCtx, payload)
+				if runCtx.Err() != nil {
+					return
+				}
+				requests.Add(1)
+				switch {
+				case err != nil:
+					errors.Add(1)
+				case hit:
+					hits.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(begin).Seconds()
+
+	rep := loadReport{
+		URL:        *url,
+		DurationS:  elapsed,
+		Keys:       len(keyset),
+		Requests:   requests.Load(),
+		Errors:     errors.Load(),
+		Hits:       hits.Load(),
+		Misses:     requests.Load() - errors.Load() - hits.Load(),
+		ReqPerSec:  float64(requests.Load()) / elapsed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUs:       runtime.NumCPU(),
+	}
+	if ok := rep.Requests - rep.Errors; ok > 0 {
+		rep.HitRate = float64(rep.Hits) / float64(ok)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

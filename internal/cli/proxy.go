@@ -1,0 +1,117 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"fomodel/internal/reqkey"
+	"fomodel/internal/router"
+)
+
+// Fomodelproxy implements cmd/fomodelproxy: the consistent-hash routing
+// proxy over a set of fomodeld replicas. It binds the listen address,
+// starts the replica /readyz probe loop, serves until ctx is canceled,
+// then shuts down gracefully, draining in-flight requests for up to the
+// -drain timeout. Structured JSON logs go to out.
+func Fomodelproxy(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fomodelproxy", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", "127.0.0.1:8760", "listen address")
+	replicas := fs.String("replicas", "", "comma-separated fomodeld base URLs (required)")
+	route := fs.String("route", "hash", "routing policy: hash (consistent, cache-aware) or roundrobin (baseline)")
+	vnodes := fs.Int("vnodes", 64, "ring points per replica")
+	loadFactor := fs.Float64("load-factor", 1.25, "bounded-load factor (≤0 disables the bound)")
+	n := fs.Int("n", 500000, "replicas' default dynamic instructions per workload (must match the fleet)")
+	seed := fs.Uint64("seed", 1, "replicas' default workload generation seed (must match the fleet)")
+	hedge := fs.Bool("hedge", true, "hedge slow requests to the next ring replica")
+	hedgeQuantile := fs.Float64("hedge-quantile", 0.99, "upstream latency quantile that arms the hedge timer")
+	hedgeMin := fs.Duration("hedge-min", time.Millisecond, "hedge delay floor")
+	hedgeMax := fs.Duration("hedge-max", time.Second, "hedge delay ceiling")
+	probeInterval := fs.Duration("probe-interval", 2*time.Second, "replica /readyz probe period")
+	probeTimeout := fs.Duration("probe-timeout", time.Second, "per-probe deadline")
+	ejectAfter := fs.Int("eject-after", 3, "consecutive transport failures before passive ejection")
+	upstreamTimeout := fs.Duration("upstream-timeout", 150*time.Second, "per-attempt upstream deadline (buffered requests)")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("fomodelproxy: unexpected argument %q", fs.Arg(0))
+	}
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		return errors.New("fomodelproxy: -replicas requires at least one fomodeld base URL")
+	}
+	if *route != "hash" && *route != "roundrobin" {
+		return fmt.Errorf("fomodelproxy: unknown -route %q (want hash or roundrobin)", *route)
+	}
+
+	logger := slog.New(slog.NewJSONHandler(out, nil))
+	rt, err := router.New(router.Config{
+		Replicas:        urls,
+		Defaults:        reqkey.Defaults{N: *n, Seed: *seed},
+		VNodes:          *vnodes,
+		RoundRobin:      *route == "roundrobin",
+		LoadFactor:      *loadFactor,
+		DisableHedge:    !*hedge,
+		HedgeQuantile:   *hedgeQuantile,
+		HedgeMin:        *hedgeMin,
+		HedgeMax:        *hedgeMax,
+		ProbeInterval:   *probeInterval,
+		ProbeTimeout:    *probeTimeout,
+		EjectAfter:      *ejectAfter,
+		UpstreamTimeout: *upstreamTimeout,
+	}, logger)
+	if err != nil {
+		return err
+	}
+	probeCtx, stopProbes := context.WithCancel(context.Background())
+	defer stopProbes()
+	rt.Start(probeCtx)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	logger.Info("fomodelproxy listening",
+		"addr", ln.Addr().String(), "mode", rt.Mode(), "replicas", len(urls))
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down, draining in-flight requests", "timeout", (*drain).String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("fomodelproxy: drain incomplete: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	stopProbes()
+	rt.Wait()
+	logger.Info("fomodelproxy stopped")
+	return nil
+}

@@ -70,6 +70,23 @@ func New(baseURL string) *Client {
 	return &Client{BaseURL: baseURL}
 }
 
+// NewPooled returns a client with its own dedicated connection pool
+// instead of http.DefaultClient's shared one. The fomodelproxy router
+// keeps one pooled client per replica, so each replica's keep-alive
+// connections are reused across requests and one slow replica cannot
+// exhaust the idle-connection budget of the others.
+func NewPooled(baseURL string, maxIdleConns int) *Client {
+	if maxIdleConns <= 0 {
+		maxIdleConns = 32
+	}
+	tr := &http.Transport{
+		MaxIdleConns:        maxIdleConns,
+		MaxIdleConnsPerHost: maxIdleConns,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &Client{BaseURL: baseURL, HTTPClient: &http.Client{Transport: tr}}
+}
+
 // APIError is a non-200 daemon response, carrying the HTTP status and
 // the structured error message.
 type APIError struct {
@@ -181,8 +198,48 @@ func apiError(resp *http.Response) error {
 // do runs one request through the retry loop and returns a 200
 // response whose body the caller must close. stream requests skip the
 // per-attempt timeout (rows may flow for a long time); buffered
-// attempts each carry RequestTimeout.
+// attempts each carry RequestTimeout. Non-200 terminal responses become
+// *APIError.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, stream bool) (*http.Response, error) {
+	resp, err := c.doRetry(ctx, method, path, body, nil, stream, true)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp) // drains and closes the body
+	}
+	return resp, nil
+}
+
+// DoRaw runs one request through the 429/503 retry schedule and returns
+// the terminal response — whatever its status — with its body intact for
+// the caller to relay. It is the proxying entry point: the fomodelproxy
+// router forwards the terminal status line, headers, and body verbatim,
+// which is what keeps proxied responses byte-equal to a daemon's own.
+// Two deliberate differences from the consumer methods:
+//
+//   - Exhausted retries return the final shedding response itself (so
+//     the proxy can relay the daemon's authoritative 429 body and
+//     Retry-After) instead of an *APIError.
+//   - Transport errors are returned immediately, never retried: a dead
+//     replica should fail over to its ring successor at once, not be
+//     backed off against. Status-based retries (429/503) still back off
+//     per the client's schedule, honoring Retry-After — and because the
+//     router's hedge timer runs concurrently, a long Retry-After from a
+//     shedding replica stalls only this attempt, never the hedge.
+//
+// hdr entries (may be nil) are added to the request headers — the router
+// uses this to forward X-Request-ID and Accept.
+func (c *Client) DoRaw(ctx context.Context, method, path string, body []byte, hdr http.Header, stream bool) (*http.Response, error) {
+	return c.doRetry(ctx, method, path, body, hdr, stream, false)
+}
+
+// doRetry is the shared retry loop. retryTransport selects whether
+// transport-level failures are retried (consumer mode) or surfaced
+// immediately (proxy mode); in both modes 429/503 responses are retried
+// until the schedule is exhausted, after which the final response is
+// returned as-is.
+func (c *Client) doRetry(ctx context.Context, method, path string, body []byte, hdr http.Header, stream, retryTransport bool) (*http.Response, error) {
 	backoff := c.baseBackoff()
 	retries := c.maxRetries()
 	for attempt := 0; ; attempt++ {
@@ -190,35 +247,34 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, strea
 		if t := c.requestTimeout(); t > 0 && !stream {
 			actx, cancel = context.WithTimeout(ctx, t)
 		}
-		resp, err := c.attempt(actx, method, path, body, stream)
-		if err == nil && !retryable(resp.StatusCode) {
-			if resp.StatusCode != http.StatusOK {
-				if cancel != nil {
-					defer cancel()
-				}
-				return nil, apiError(resp)
+		resp, err := c.attempt(actx, method, path, body, hdr, stream)
+		if err != nil {
+			if cancel != nil {
+				cancel()
 			}
+			if !retryTransport || attempt >= retries {
+				return nil, err
+			}
+			if err := c.sleepFn(ctx, c.jitterFn(backoff)); err != nil {
+				return nil, err
+			}
+			backoff = c.nextBackoff(backoff)
+			continue
+		}
+		if !retryable(resp.StatusCode) || attempt >= retries {
 			if cancel != nil {
 				resp.Body = &cancelingBody{ReadCloser: resp.Body, cancel: cancel}
 			}
 			return resp, nil
 		}
 
-		// Transient failure: decide the delay, then either give up or
-		// back off and go again.
-		var delay time.Duration
-		var lastErr error
-		if err != nil {
-			lastErr = err
-		} else {
-			delay = retryAfter(resp)
-			lastErr = apiError(resp) // drains and closes the body
-		}
+		// Retryable status with attempts remaining: honor Retry-After,
+		// release this attempt's resources, back off, go again.
+		delay := retryAfter(resp)
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
 		if cancel != nil {
 			cancel()
-		}
-		if attempt >= retries {
-			return nil, lastErr
 		}
 		if delay == 0 {
 			delay = c.jitterFn(backoff)
@@ -226,15 +282,21 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, strea
 		if err := c.sleepFn(ctx, delay); err != nil {
 			return nil, err
 		}
-		backoff *= 2
-		if max := c.maxBackoff(); backoff > max {
-			backoff = max
-		}
+		backoff = c.nextBackoff(backoff)
 	}
 }
 
+// nextBackoff doubles the backoff up to the configured ceiling.
+func (c *Client) nextBackoff(backoff time.Duration) time.Duration {
+	backoff *= 2
+	if max := c.maxBackoff(); backoff > max {
+		backoff = max
+	}
+	return backoff
+}
+
 // attempt issues a single HTTP request.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, stream bool) (*http.Response, error) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, hdr http.Header, stream bool) (*http.Response, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -248,6 +310,11 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	if stream {
 		req.Header.Set("Accept", "application/x-ndjson")
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	return c.httpClient().Do(req)
 }

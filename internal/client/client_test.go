@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -293,4 +294,132 @@ func TestSweepStreamServerError(t *testing.T) {
 			t.Fatalf("err = %v, want a truncated-stream error", err)
 		}
 	})
+}
+
+// TestDoRawRelaysTerminalResponse pins the proxying contract: DoRaw
+// retries 429s per schedule, but when the schedule is exhausted the
+// final shedding response itself comes back — status, Retry-After, and
+// body intact — so a proxy can relay the daemon's authoritative answer
+// instead of synthesizing its own.
+func TestDoRawRelaysTerminalResponse(t *testing.T) {
+	var calls atomic.Int32
+	c, delays := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, `{"error":"server saturated"}`, http.StatusTooManyRequests)
+	}))
+	c.MaxRetries = 2
+
+	resp, err := c.DoRaw(context.Background(), http.MethodGet, "/v1/workloads", nil, nil, false)
+	if err != nil {
+		t.Fatalf("DoRaw: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("terminal status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("terminal Retry-After = %q, want it preserved", got)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "server saturated") {
+		t.Errorf("terminal body %q lost the server message", body)
+	}
+	if calls.Load() != 3 || len(*delays) != 2 {
+		t.Errorf("attempts = %d, sleeps = %d; want 3 attempts, 2 sleeps", calls.Load(), len(*delays))
+	}
+}
+
+// TestDoRawHeadersAndNon200Passthrough pins that extra headers reach the
+// wire and that a non-retryable non-200 comes back as a response (for
+// relay), not an *APIError.
+func TestDoRawHeadersAndNon200Passthrough(t *testing.T) {
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Request-ID", r.Header.Get("X-Request-ID"))
+		http.Error(w, `{"error":"unknown profile"}`, http.StatusBadRequest)
+	}))
+	hdr := http.Header{"X-Request-ID": []string{"abc123"}}
+	resp, err := c.DoRaw(context.Background(), http.MethodPost, "/v1/predict", []byte(`{}`), hdr, false)
+	if err != nil {
+		t.Fatalf("DoRaw: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want the 400 relayed", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "abc123" {
+		t.Errorf("echoed request id = %q, want header forwarded", got)
+	}
+}
+
+// TestDoRawNoTransportRetry pins the failover contract: a transport
+// error (dead replica) surfaces immediately with no sleeps, so the
+// router can move to the ring successor at once.
+func TestDoRawNoTransportRetry(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	srv.Close() // nothing listens here anymore
+	c := New(srv.URL)
+	delays := []time.Duration{}
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		delays = append(delays, d)
+		return nil
+	}
+	start := time.Now()
+	_, err := c.DoRaw(context.Background(), http.MethodGet, "/healthz", nil, nil, false)
+	if err == nil {
+		t.Fatal("DoRaw against a dead server should fail")
+	}
+	if len(delays) != 0 {
+		t.Errorf("transport error slept %v; want immediate failure for failover", delays)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("failure took %v; want immediate", elapsed)
+	}
+}
+
+// TestStreamRetryNoDuplicateRows pins the hedge/retry × streaming
+// interaction: a replica that sheds the streaming request with 503
+// fails over (via the retry loop) to a successful attempt, and every
+// NDJSON row is delivered exactly once — the retry happens before any
+// row leaves the server, so a consumer can never observe duplicated
+// cells.
+func TestStreamRetryNoDuplicateRows(t *testing.T) {
+	var calls atomic.Int32
+	c, delays := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"bench":"gzip","value":2,"sim_cpi":1,"model_cpi":1,"err":0}`)
+		fmt.Fprintln(w, `{"bench":"gzip","value":4,"sim_cpi":1,"model_cpi":1,"err":0}`)
+		fmt.Fprintln(w, `{"title":"t","param":"width","mean_abs_err":0,"render":"r","csv":"c"}`)
+	}))
+
+	seen := map[int]int{}
+	trailer, err := c.SweepStream(context.Background(), experiments.SweepSpec{}, func(pt experiments.SweepPoint) error {
+		seen[pt.Value]++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("SweepStream across a 503: %v", err)
+	}
+	if trailer == nil || trailer.Render != "r" {
+		t.Fatalf("trailer = %+v, want the second attempt's trailer", trailer)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("attempts = %d, want 2 (shed, then streamed)", calls.Load())
+	}
+	if len(*delays) != 1 || (*delays)[0] != time.Second {
+		t.Errorf("delays = %v, want exactly the advertised 1s", *delays)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Errorf("row value %d delivered %d times; rows must never duplicate across the retry", v, n)
+		}
+	}
+	if len(seen) != 2 {
+		t.Errorf("saw %d distinct rows, want 2", len(seen))
+	}
 }

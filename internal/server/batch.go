@@ -91,7 +91,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.finishComputeState(sw, 0, nil, "", err)
 		return
 	}
-	body, err := encodeIndented(BatchResponse{Items: items})
+	body, err := EncodeIndented(BatchResponse{Items: items})
 	s.finishComputeState(sw, http.StatusOK, body, "", err)
 }
 
@@ -115,7 +115,7 @@ func (s *Server) batchItem(ctx context.Context, req PredictRequest) (item BatchI
 			}
 		}
 	}()
-	if err := req.normalize(s.cfg); err != nil {
+	if err := req.Normalize(s.cfg.KeyDefaults()); err != nil {
 		return badItem(err), nil
 	}
 	mode, err := ParseBranchMode(req.BranchMode)
@@ -137,7 +137,7 @@ func (s *Server) batchItem(ctx context.Context, req PredictRequest) (item BatchI
 		return badItem(err), nil
 	}
 
-	key, err := cacheKey("predict", req)
+	key, err := PredictCacheKey(req, s.cfg.KeyDefaults())
 	if err != nil {
 		return BatchItem{Status: http.StatusInternalServerError, Error: err.Error()}, nil
 	}
@@ -152,7 +152,7 @@ func (s *Server) batchItem(ctx context.Context, req PredictRequest) (item BatchI
 		if err != nil {
 			return 0, nil, err
 		}
-		body, err := encodeIndented(rec)
+		body, err := EncodeIndented(rec)
 		if err != nil {
 			return 0, nil, err
 		}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"fomodel/internal/experiments"
+	"fomodel/internal/reqkey"
 	"fomodel/internal/workload"
 )
 
@@ -79,10 +80,12 @@ func decodeRequestLimit(r *http.Request, v any, limit int64) error {
 	return nil
 }
 
-// encodeIndented marshals v exactly the way the CLI's -json mode does
+// EncodeIndented marshals v exactly the way the CLI's -json mode does
 // (two-space indent, trailing newline), preserving byte equivalence
-// between a server response and the corresponding CLI output.
-func encodeIndented(v any) ([]byte, error) {
+// between a server response and the corresponding CLI output. The
+// fomodelproxy router uses the same encoder to reassemble split batch
+// responses, which is what keeps them byte-equal to a single daemon's.
+func EncodeIndented(v any) ([]byte, error) {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
@@ -108,14 +111,17 @@ type PredictRequest struct {
 	Sim bool `json:"sim,omitempty"`
 }
 
-// normalize fills defaults and validates, returning an error fit for a
-// 400 response.
-func (req *PredictRequest) normalize(cfg Config) error {
+// Normalize fills defaults and validates, returning an error fit for a
+// 400 response. It is idempotent, and it is the shared canonicalization
+// step: the daemon normalizes before keying its response cache, and the
+// fomodelproxy router normalizes (via PredictCacheKey) before hashing
+// onto the ring.
+func (req *PredictRequest) Normalize(d reqkey.Defaults) error {
 	if req.N == 0 {
-		req.N = cfg.N
+		req.N = d.N
 	}
 	if req.Seed == 0 {
-		req.Seed = cfg.Seed
+		req.Seed = d.Seed
 	}
 	if req.BranchMode == "" {
 		req.BranchMode = "midpoint"
@@ -136,7 +142,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.writeRequestError(w, err)
 		return
 	}
-	if err := req.normalize(s.cfg); err != nil {
+	if err := req.Normalize(s.cfg.KeyDefaults()); err != nil {
 		s.writeError(w, http.StatusBadRequest, "%s", err)
 		return
 	}
@@ -166,7 +172,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key, err := cacheKey("predict", req)
+	key, err := PredictCacheKey(req, s.cfg.KeyDefaults())
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, "%s", err)
 		return
@@ -180,7 +186,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return 0, nil, err
 		}
-		body, err := encodeIndented(rec)
+		body, err := EncodeIndented(rec)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -239,7 +245,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.streamSweep(sw, r, spec)
 		return
 	}
-	key, err := cacheKey("sweep", spec)
+	key, err := SweepCacheKey(spec)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, "%s", err)
 		return
@@ -253,7 +259,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return 0, nil, err
 		}
-		body, err := encodeIndented(SweepResponse{
+		body, err := EncodeIndented(SweepResponse{
 			SweepResult: res,
 			Render:      res.Render(),
 			CSV:         res.CSV(),
@@ -362,7 +368,7 @@ type WorkloadsResponse struct {
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	sw := w.(*statusWriter)
-	status, body, hit, err := s.cache.Do("workloads", func() (int, []byte, error) {
+	status, body, hit, err := s.cache.Do(WorkloadsCacheKey, func() (int, []byte, error) {
 		infos, err := experiments.MapWorkloads(s.suite, func(wl *experiments.Workload) (WorkloadInfo, error) {
 			sum := wl.Summary
 			ki := float64(sum.Instructions) / 1000
@@ -385,22 +391,11 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return 0, nil, err
 		}
-		body, err := encodeIndented(WorkloadsResponse{N: s.cfg.N, Seed: s.cfg.Seed, Workloads: infos})
+		body, err := EncodeIndented(WorkloadsResponse{N: s.cfg.N, Seed: s.cfg.Seed, Workloads: infos})
 		if err != nil {
 			return 0, nil, err
 		}
 		return http.StatusOK, body, nil
 	})
 	s.finishCompute(sw, status, body, hit, err)
-}
-
-// cacheKey canonicalizes a request into its response-cache key: requests
-// that normalize to the same typed value share one entry regardless of
-// their original JSON spelling.
-func cacheKey(endpoint string, v any) (string, error) {
-	b, err := json.Marshal(v)
-	if err != nil {
-		return "", err
-	}
-	return endpoint + "\x00" + string(b), nil
 }

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"fomodel/internal/experiments"
+	"fomodel/internal/reqkey"
+)
+
+// This file is the daemon's half of the shared canonical-key contract
+// (see internal/reqkey): every response-cache key the daemon uses is
+// derived through the exported functions below, and the fomodelproxy
+// router calls the very same functions to pick a replica — so the key a
+// request is routed by and the key the replica caches it under are one
+// string by construction.
+
+// KeyDefaults returns the normalization defaults this configuration
+// serves under; a router configured with the same defaults shares the
+// daemon's keyspace.
+func (c Config) KeyDefaults() reqkey.Defaults {
+	c = c.withDefaults()
+	return reqkey.Defaults{N: c.N, Seed: c.Seed}
+}
+
+// PredictCacheKey canonicalizes one predict request against the given
+// defaults: the request is normalized (defaults filled, inputs
+// validated) and the normalized value keyed, so spelling differences —
+// omitted versus explicit defaults — collapse to one key. The returned
+// error is the same 400-shaped validation error the daemon would
+// produce.
+func PredictCacheKey(req PredictRequest, d reqkey.Defaults) (string, error) {
+	if err := req.Normalize(d); err != nil {
+		return "", err
+	}
+	return reqkey.Canonical("predict", req)
+}
+
+// SweepCacheKey canonicalizes one sweep spec. Sweeps have no
+// server-side defaults to fill; decoding the JSON into the typed spec
+// and re-encoding it is the canonicalization.
+func SweepCacheKey(spec experiments.SweepSpec) (string, error) {
+	return reqkey.Canonical("sweep", spec)
+}
+
+// WorkloadsCacheKey is the single cache key of the parameterless
+// /v1/workloads endpoint.
+const WorkloadsCacheKey = "workloads"

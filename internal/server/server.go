@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fomodel/internal/artifact"
@@ -96,6 +97,12 @@ type Server struct {
 	shed     metrics.Counter
 	latency  *metrics.Histogram
 	slots    chan struct{}
+
+	// notReady is set while the daemon should be kept out of routing
+	// rotation (boot warm-up in flight); /readyz answers 503 until it
+	// clears. Inverted so the zero value — ready — matches servers that
+	// never warm.
+	notReady atomic.Bool
 
 	reqMu    sync.Mutex
 	requests map[requestKey]*metrics.Counter
@@ -190,6 +197,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", true, s.handleSweep))
 	mux.HandleFunc("GET /v1/workloads", s.instrument("/v1/workloads", true, s.handleWorkloads))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", false, s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("/readyz", false, s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", false, s.handleMetrics))
 	return mux
 }
@@ -200,6 +208,11 @@ type statusWriter struct {
 	http.ResponseWriter
 	code  int
 	bytes int
+	// reqID is the request's X-Request-ID header, when the client (the
+	// fomodelproxy router, typically) sent one; it is echoed into the
+	// response headers, the structured request log, and error bodies so
+	// one hedged or retried request can be traced across replicas.
+	reqID string
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -233,6 +246,10 @@ func (s *Server) instrument(path string, limited bool, h http.HandlerFunc) http.
 	return func(w http.ResponseWriter, r *http.Request) {
 		startReq := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
+		if id := r.Header.Get("X-Request-ID"); id != "" {
+			sw.reqID = id
+			w.Header().Set("X-Request-ID", id)
+		}
 		if limited {
 			select {
 			case s.slots <- struct{}{}:
@@ -295,6 +312,9 @@ func (s *Server) finish(path string, sw *statusWriter, start time.Time, cacheSta
 	if cacheState != "" {
 		attrs = append(attrs, "cache", cacheState)
 	}
+	if sw.reqID != "" {
+		attrs = append(attrs, "request_id", sw.reqID)
+	}
 	s.log.Info("request", attrs...)
 }
 
@@ -312,14 +332,21 @@ func (s *Server) requestCounter(path string, code int) *metrics.Counter {
 }
 
 // errorResponse is the structured error body of every non-200 response.
+// RequestID is present only when the request carried an X-Request-ID
+// header, so direct (headerless) requests keep their historical bodies.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	resp := errorResponse{Error: fmt.Sprintf(format, args...)}
+	if sw, ok := w.(*statusWriter); ok {
+		resp.RequestID = sw.reqID
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	body, _ := json.Marshal(errorResponse{Error: fmt.Sprintf(format, args...)})
+	body, _ := json.Marshal(resp)
 	w.Write(append(body, '\n'))
 }
 
@@ -438,6 +465,40 @@ type healthzResponse struct {
 	Workloads     int     `json:"workloads"`
 	N             int     `json:"n"`
 	Seed          uint64  `json:"seed"`
+}
+
+// SetReady flips the /readyz answer. The daemon boots ready unless its
+// CLI starts a warm-up, in which case it is marked not-ready first and
+// ready again when the warm-up completes — so a routing proxy keeps a
+// cold replica (252µs–11ms per miss) out of the ring until its caches
+// can actually serve the shard hot.
+func (s *Server) SetReady(ready bool) {
+	s.notReady.Store(!ready)
+}
+
+// Ready reports whether /readyz would answer 200.
+func (s *Server) Ready() bool {
+	return !s.notReady.Load()
+}
+
+// readyzResponse is the /readyz body.
+type readyzResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// handleReadyz is the routing-readiness probe, distinct from /healthz:
+// a live daemon that is still running its boot warm-up answers 503 here
+// (and 200 on /healthz), telling the router "alive, but route my shard
+// elsewhere for now".
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := readyzResponse{Status: "ready", UptimeSeconds: time.Since(s.start).Seconds()}
+	w.Header().Set("Content-Type", "application/json")
+	if !s.Ready() {
+		resp.Status = "warming"
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -396,4 +397,96 @@ func TestMethodNotAllowed(t *testing.T) {
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("GET /v1/predict: status = %d, want 405", rec.Code)
 	}
+}
+
+// TestReadyz pins the readiness surface: the daemon boots ready, a
+// warm-up in flight (SetReady(false)) flips /readyz to 503 with a
+// "warming" body while /healthz stays 200, and SetReady(true) restores
+// 200 — the signal a routing proxy uses to keep cold replicas out of
+// its ring.
+func TestReadyz(t *testing.T) {
+	s := testServer(Config{})
+	if rec := get(s, "/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("boot /readyz = %d, want 200\nbody: %s", rec.Code, rec.Body.String())
+	}
+
+	s.SetReady(false)
+	rec := get(s, "/readyz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("warming /readyz = %d, want 503", rec.Code)
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Status != "warming" {
+		t.Errorf("warming body = %q (err %v), want status \"warming\"", rec.Body.String(), err)
+	}
+	if rec := get(s, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("/healthz while warming = %d, want 200 (liveness is not readiness)", rec.Code)
+	}
+
+	s.SetReady(true)
+	rec = get(s, "/readyz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ready /readyz = %d, want 200", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Status != "ready" {
+		t.Errorf("ready body = %q (err %v), want status \"ready\"", rec.Body.String(), err)
+	}
+}
+
+// TestRequestIDPropagation pins the X-Request-ID contract: a request
+// carrying the header gets it echoed in the response headers, woven into
+// the structured request log, and embedded in error bodies; a request
+// without the header keeps the historical body and log shapes.
+func TestRequestIDPropagation(t *testing.T) {
+	var logBuf syncBuffer
+	s := New(Config{N: 20000}, slog.New(slog.NewJSONHandler(&logBuf, nil)))
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(`{"bench":"nope"}`))
+	req.Header.Set("X-Request-ID", "trace-me-42")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+
+	if got := rec.Header().Get("X-Request-ID"); got != "trace-me-42" {
+		t.Errorf("response X-Request-ID = %q, want it echoed", got)
+	}
+	var e struct {
+		Error     string `json:"error"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("error body: %v", err)
+	}
+	if e.RequestID != "trace-me-42" {
+		t.Errorf("error body request_id = %q, want \"trace-me-42\"\nbody: %s", e.RequestID, rec.Body.String())
+	}
+	if !strings.Contains(logBuf.String(), `"request_id":"trace-me-42"`) {
+		t.Errorf("request log lacks the request id:\n%s", logBuf.String())
+	}
+
+	// Headerless requests keep the historical error-body shape.
+	rec = post(s, "/v1/predict", `{"bench":"nope"}`)
+	if strings.Contains(rec.Body.String(), "request_id") {
+		t.Errorf("headerless error body grew a request_id field: %s", rec.Body.String())
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer for capturing slog output
+// from concurrent handlers.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }

@@ -72,7 +72,7 @@ func TestStreamedSweepMatchesBuffered(t *testing.T) {
 	if len(points) != 4 {
 		t.Fatalf("streamed %d points, want 4", len(points))
 	}
-	rebuilt, err := encodeIndented(SweepResponse{
+	rebuilt, err := EncodeIndented(SweepResponse{
 		SweepResult: &experiments.SweepResult{
 			Title:      trailer.Title,
 			Param:      trailer.Param,

@@ -3,6 +3,7 @@
 #
 # Usage: scripts/bench.sh [output.json]   # library/experiment benchmarks
 #        scripts/bench.sh server [output] # fomodeld load benchmark
+#        scripts/bench.sh proxy [output]  # fomodelproxy multi-process benchmark
 #
 # Library mode runs two stages: a -benchtime=1x smoke pass over every
 # benchmark in the repo (so a broken benchmark fails fast without a long
@@ -17,8 +18,160 @@
 # server per request on a warm artifact store), plus a 12-cell /v1/sweep
 # at 1 worker and at GOMAXPROCS workers — and records req/sec and the
 # cold/hot ratios in BENCH_PR6.json.
+#
+# Proxy mode is the PR-7 benchmark: real OS processes (3 fomodeld
+# replicas, one fomodelproxy, the fomodelload generator) on loopback.
+# The replicas run deliberately small response caches (16 entries)
+# against a 24-key working set, so the cache-locality effect of
+# consistent-hash routing is measured directly: the sharded fleet's
+# partitions fit their caches while round-robin cycles every key
+# through every replica and thrashes. Phases: single-daemon hot
+# ceiling, hash-routed fleet, round-robin fleet, and a kill-one-replica
+# failover run that must lose zero requests and re-admit the replica
+# after /readyz turns healthy. Every bench JSON records gomaxprocs and
+# cpus so a single-CPU result can never masquerade as a scaling one.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+gomaxprocs=${GOMAXPROCS:-$(nproc)}
+
+if [ "${1:-}" = "proxy" ]; then
+    out=${2:-BENCH_PR7.json}
+    dur=${DUR:-5s}
+    conc=${CONC:-6}
+    benches=8
+    robs=128,160,192       # 8 benches x 3 ROBs = 24 keys
+    cache=16               # per-replica response cache < keyset, > keyset/3
+
+    bin=$(mktemp -d)
+    pids=()
+    cleanup() {
+        for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+        wait 2>/dev/null || true
+        rm -rf "$bin"
+    }
+    trap cleanup EXIT
+
+    echo "== build" >&2
+    go build -o "$bin/fomodeld" ./cmd/fomodeld
+    go build -o "$bin/fomodelproxy" ./cmd/fomodelproxy
+    go build -o "$bin/fomodelload" ./cmd/fomodelload
+
+    wait_ready() {
+        for _ in $(seq 1 200); do
+            if curl -fsS "$1/readyz" >/dev/null 2>&1; then return 0; fi
+            sleep 0.1
+        done
+        echo "endpoint never became ready: $1" >&2
+        return 1
+    }
+    # jget file key -> bare value from fomodelload's flat JSON report
+    jget() { sed -n "s/^  \"$2\": \(.*\)/\1/p" "$1" | tr -d ', "'; }
+
+    start_replicas() {  # $1 = cache entries
+        for port in 8791 8792 8793; do
+            "$bin/fomodeld" -addr "127.0.0.1:$port" -cache "$1" \
+                -analysis-cache "$1" -max-inflight 64 -warm=false \
+                >"$bin/replica-$port.log" 2>&1 &
+            pids+=($!)
+        done
+        for port in 8791 8792 8793; do wait_ready "http://127.0.0.1:$port"; done
+    }
+    stop_all() {
+        for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+        wait 2>/dev/null || true
+        pids=()
+    }
+    replicas_flag="-replicas http://127.0.0.1:8791,http://127.0.0.1:8792,http://127.0.0.1:8793"
+
+    echo "== phase 1: single-daemon cache-hot ceiling" >&2
+    "$bin/fomodeld" -addr 127.0.0.1:8791 -max-inflight 64 -warm=false \
+        >"$bin/single.log" 2>&1 &
+    pids+=($!)
+    wait_ready http://127.0.0.1:8791
+    "$bin/fomodelload" -url http://127.0.0.1:8791 -duration "$dur" \
+        -concurrency "$conc" -benches $benches -robs $robs >"$bin/single.json"
+    stop_all
+
+    echo "== phase 2: hash-routed fleet, constrained caches" >&2
+    start_replicas $cache
+    "$bin/fomodelproxy" -addr 127.0.0.1:8790 $replicas_flag \
+        -route hash -hedge=false >"$bin/proxy-hash.log" 2>&1 &
+    pids+=($!)
+    wait_ready http://127.0.0.1:8790
+    "$bin/fomodelload" -url http://127.0.0.1:8790 -duration "$dur" \
+        -concurrency "$conc" -benches $benches -robs $robs >"$bin/hash.json"
+    stop_all
+
+    echo "== phase 3: round-robin fleet, constrained caches" >&2
+    start_replicas $cache
+    "$bin/fomodelproxy" -addr 127.0.0.1:8790 $replicas_flag \
+        -route roundrobin -hedge=false >"$bin/proxy-rr.log" 2>&1 &
+    pids+=($!)
+    wait_ready http://127.0.0.1:8790
+    "$bin/fomodelload" -url http://127.0.0.1:8790 -duration "$dur" \
+        -concurrency "$conc" -benches $benches -robs $robs >"$bin/rr.json"
+    stop_all
+
+    echo "== phase 4: kill-one-replica failover under load" >&2
+    start_replicas $cache
+    victim_pid=${pids[2]}      # replica on :8793
+    "$bin/fomodelproxy" -addr 127.0.0.1:8790 $replicas_flag \
+        -route hash -probe-interval 500ms -eject-after 2 \
+        >"$bin/proxy-kill.log" 2>&1 &
+    pids+=($!)
+    wait_ready http://127.0.0.1:8790
+    "$bin/fomodelload" -url http://127.0.0.1:8790 -duration 8s \
+        -concurrency "$conc" -benches $benches -robs $robs >"$bin/kill.json" &
+    load_pid=$!
+    sleep 2
+    kill -9 "$victim_pid" 2>/dev/null || true
+    wait "$load_pid"
+    # Revive the victim on the same port; the probe loop must re-admit it.
+    "$bin/fomodeld" -addr 127.0.0.1:8793 -cache $cache -analysis-cache $cache \
+        -max-inflight 64 -warm=false >"$bin/replica-8793b.log" 2>&1 &
+    pids+=($!)
+    wait_ready http://127.0.0.1:8793
+    sleep 2
+    healthy=$(curl -fsS http://127.0.0.1:8790/healthz | grep -o '"healthy":true' | wc -l)
+    stop_all
+
+    single_rps=$(jget "$bin/single.json" req_per_sec)
+    single_hit=$(jget "$bin/single.json" hit_rate)
+    hash_rps=$(jget "$bin/hash.json" req_per_sec)
+    hash_hit=$(jget "$bin/hash.json" hit_rate)
+    hash_err=$(jget "$bin/hash.json" errors)
+    rr_rps=$(jget "$bin/rr.json" req_per_sec)
+    rr_hit=$(jget "$bin/rr.json" hit_rate)
+    kill_req=$(jget "$bin/kill.json" requests)
+    kill_err=$(jget "$bin/kill.json" errors)
+
+    awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v procs="$(nproc)" \
+        -v gmp="$gomaxprocs" -v dur="$dur" -v conc="$conc" -v cache="$cache" \
+        -v srps="$single_rps" -v shit="$single_hit" \
+        -v hrps="$hash_rps" -v hhit="$hash_hit" -v herr="$hash_err" \
+        -v rrps="$rr_rps" -v rhit="$rr_hit" \
+        -v kreq="$kill_req" -v kerr="$kill_err" -v healthy="$healthy" \
+        'BEGIN {
+        printf "{\n"
+        printf "  \"generated\": \"%s\",\n", date
+        printf "  \"cpus\": %d,\n  \"gomaxprocs\": %d,\n", procs, gmp
+        printf "  \"workload\": {\"keys\": 24, \"replica_cache_entries\": %d, \"duration\": \"%s\", \"concurrency\": %d},\n", cache, dur, conc
+        printf "  \"single_daemon_hot\": {\"req_per_sec\": %.0f, \"hit_rate\": %.3f},\n", srps, shit
+        printf "  \"proxy_hash\": {\"req_per_sec\": %.0f, \"hit_rate\": %.3f, \"errors\": %d},\n", hrps, hhit, herr
+        printf "  \"proxy_roundrobin\": {\"req_per_sec\": %.0f, \"hit_rate\": %.3f},\n", rrps, rhit
+        printf "  \"hash_hit_rate_advantage\": %.3f,\n", hhit - rhit
+        printf "  \"fleet_over_single_throughput\": %.2f,\n", hrps / srps
+        printf "  \"failover\": {\"requests\": %d, \"errors\": %d, \"healthy_replicas_after_restart\": %d}\n", kreq, kerr, healthy
+        printf "}\n"
+    }' > "$out"
+    echo "wrote $out" >&2
+    if [ "$kill_err" != "0" ]; then
+        echo "FAILOVER REGRESSION: $kill_err requests lost during replica kill" >&2
+        exit 1
+    fi
+    exit 0
+fi
 
 if [ "${1:-}" = "server" ]; then
     out=${2:-BENCH_PR6.json}
@@ -28,14 +181,14 @@ if [ "${1:-}" = "server" ]; then
     go test -run '^$' \
         -bench 'BenchmarkPredictHot$|BenchmarkPredictCold$|BenchmarkPredictColdWarmStore$|BenchmarkSweepWorkers1$|BenchmarkSweepWorkersN$' \
         -benchmem -benchtime=20x ./internal/server/ | tee "$tmp" >&2
-    awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v procs="$(nproc)" '
+    awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v procs="$(nproc)" -v gmp="$gomaxprocs" '
     /^Benchmark/ {
         name = $1
         sub(/-[0-9]+$/, "", name)
         ns[name] = $3
     }
     END {
-        printf "{\n  \"generated\": \"%s\",\n  \"cpus\": %d,\n", date, procs
+        printf "{\n  \"generated\": \"%s\",\n  \"cpus\": %d,\n  \"gomaxprocs\": %d,\n", date, procs, gmp
         printf "  \"predict\": {\n"
         printf "    \"cache_hot\":  {\"ns_per_req\": %d, \"req_per_sec\": %.0f},\n", \
             ns["BenchmarkPredictHot"], 1e9 / ns["BenchmarkPredictHot"]
@@ -82,7 +235,7 @@ go test -run '^$' -bench 'BenchmarkAnalyze$' \
 
 # Baseline ns/op, B/op, allocs/op for the acceptance benchmarks, measured
 # at the pre-PR-2 tree (commit 58b301e) with the same -benchtime=3x.
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v procs="$(nproc)" -v gmp="$gomaxprocs" '
 /^Benchmark/ {
     name = $1
     order[++n] = name
@@ -97,7 +250,7 @@ END {
     base_ns["BenchmarkROBSweep"] = 459931992
     base_allocs["BenchmarkFigure2"]  = 1549
     base_allocs["BenchmarkROBSweep"] = 731
-    printf "{\n  \"generated\": \"%s\",\n  \"benchmarks\": {\n", date
+    printf "{\n  \"generated\": \"%s\",\n  \"cpus\": %d,\n  \"gomaxprocs\": %d,\n  \"benchmarks\": {\n", date, procs, gmp
     for (j = 1; j <= n; j++) {
         name = order[j]
         printf "    \"%s\": {\"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d}%s\n", \
