@@ -55,6 +55,15 @@ type Client struct {
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
 
+	// AttemptObserver, if non-nil, is called after every individual HTTP
+	// attempt inside the retry loop with the attempt's wall-clock
+	// duration, the response status (0 on transport error), and the
+	// transport error. It fires before any backoff or Retry-After sleep,
+	// so observed durations measure upstream service time only, never
+	// the retry schedule — the fomodelproxy router derives its hedge
+	// delay from these. Must be safe for concurrent use.
+	AttemptObserver func(d time.Duration, status int, err error)
+
 	// sleep parks between retries; tests replace it to observe the
 	// schedule without waiting it out. nil means a context-aware sleep.
 	sleep func(ctx context.Context, d time.Duration) error
@@ -247,7 +256,15 @@ func (c *Client) doRetry(ctx context.Context, method, path string, body []byte, 
 		if t := c.requestTimeout(); t > 0 && !stream {
 			actx, cancel = context.WithTimeout(ctx, t)
 		}
+		begin := time.Now()
 		resp, err := c.attempt(actx, method, path, body, hdr, stream)
+		if c.AttemptObserver != nil {
+			status := 0
+			if resp != nil {
+				status = resp.StatusCode
+			}
+			c.AttemptObserver(time.Since(begin), status, err)
+		}
 		if err != nil {
 			if cancel != nil {
 				cancel()

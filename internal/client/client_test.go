@@ -330,6 +330,52 @@ func TestDoRawRelaysTerminalResponse(t *testing.T) {
 	}
 }
 
+// TestAttemptObserverFiresPerAttemptBeforeBackoff pins the hedge-feed
+// contract: the observer is called once per individual HTTP attempt,
+// before that attempt's backoff sleep — so a router histogram fed from
+// it measures upstream service time, never the retry schedule.
+func TestAttemptObserverFiresPerAttemptBeforeBackoff(t *testing.T) {
+	var calls atomic.Int32
+	c, delays := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, `{"error":"warming"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	c.MaxRetries = 1
+	type obs struct {
+		status      int
+		err         error
+		sleepsSoFar int
+	}
+	var seen []obs
+	c.AttemptObserver = func(d time.Duration, status int, err error) {
+		seen = append(seen, obs{status: status, err: err, sleepsSoFar: len(*delays)})
+	}
+
+	resp, err := c.DoRaw(context.Background(), http.MethodGet, "/v1/workloads", nil, nil, false)
+	if err != nil {
+		t.Fatalf("DoRaw: %v", err)
+	}
+	resp.Body.Close()
+	if len(seen) != 2 {
+		t.Fatalf("observer fired %d times, want once per attempt (2)", len(seen))
+	}
+	if seen[0].status != http.StatusServiceUnavailable || seen[0].err != nil {
+		t.Errorf("first attempt observed as (%d, %v), want the 503", seen[0].status, seen[0].err)
+	}
+	if seen[1].status != http.StatusOK || seen[1].err != nil {
+		t.Errorf("second attempt observed as (%d, %v), want the 200", seen[1].status, seen[1].err)
+	}
+	// The first observation happens before the inter-attempt backoff
+	// sleep: the sleep is between the attempts, not inside either one.
+	if seen[0].sleepsSoFar != 0 || seen[1].sleepsSoFar != 1 {
+		t.Errorf("sleeps seen at observation time = %d/%d, want 0/1",
+			seen[0].sleepsSoFar, seen[1].sleepsSoFar)
+	}
+}
+
 // TestDoRawHeadersAndNon200Passthrough pins that extra headers reach the
 // wire and that a non-retryable non-200 comes back as a response (for
 // relay), not an *APIError.

@@ -137,6 +137,12 @@ func (c Config) withDefaults() Config {
 type replica struct {
 	url string
 	cl  *client.Client
+	// probeCl shares cl's connection pool but never retries and has no
+	// per-attempt timeout of its own: a warming replica's /readyz 503
+	// must come back as a clean "not ready" within ProbeTimeout, not
+	// burn the probe window on cl's 429/503 backoff schedule and
+	// surface as a misleading context-deadline error.
+	probeCl *client.Client
 
 	// healthy is flipped false by EjectAfter consecutive transport
 	// failures or a failed /readyz probe, and true only by a successful
@@ -207,7 +213,23 @@ func New(cfg Config, log *slog.Logger) (*Router, error) {
 		cl := client.NewPooled(url, cfg.MaxIdleConns)
 		cl.RequestTimeout = cfg.UpstreamTimeout
 		cl.MaxRetries = cfg.UpstreamRetries
-		rep := &replica{url: url, cl: cl}
+		// Per-attempt upstream latency feeds the hedge delay. The hook
+		// fires inside the client's retry loop, before any backoff sleep,
+		// so Retry-After waits from a shedding replica can never ratchet
+		// the observed "service time" toward HedgeMax and suppress
+		// hedging long after the episode. Shedding responses themselves
+		// (429/503) are excluded too: they describe the replica's refusal
+		// latency, not how long a served request takes.
+		cl.AttemptObserver = func(d time.Duration, status int, err error) {
+			if err == nil && status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+				rt.upstream.Observe(d.Seconds())
+			}
+		}
+		probeCl := client.New(url)
+		probeCl.HTTPClient = cl.HTTPClient
+		probeCl.MaxRetries = -1
+		probeCl.RequestTimeout = -1 // the probe context carries the deadline
+		rep := &replica{url: url, cl: cl, probeCl: probeCl}
 		// Replicas start in rotation; the first probe pass corrects this
 		// within one ProbeInterval, and passive ejection corrects it after
 		// EjectAfter failed requests even with probes disabled.
@@ -262,7 +284,7 @@ func (rt *Router) ProbeOnce(ctx context.Context) {
 func (rt *Router) probe(ctx context.Context, rep *replica) {
 	pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
 	defer cancel()
-	resp, err := rep.cl.DoRaw(pctx, http.MethodGet, "/readyz", nil, nil, false)
+	resp, err := rep.probeCl.DoRaw(pctx, http.MethodGet, "/readyz", nil, nil, false)
 	ready := false
 	if err == nil {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
@@ -434,12 +456,12 @@ func (rt *Router) forward(ctx context.Context, method, path string, body []byte,
 		}
 		rep.inflight.Add(1)
 		go func() {
-			begin := time.Now()
+			// Upstream latency is observed per HTTP attempt by the
+			// client's AttemptObserver (wired in New), not here: timing
+			// the whole DoRaw would fold retry backoff sleeps into the
+			// hedge histogram.
 			resp, err := rep.cl.DoRaw(actx, method, path, body, hdr, stream)
 			rep.inflight.Add(-1)
-			if err == nil {
-				rt.upstream.Observe(time.Since(begin).Seconds())
-			}
 			results <- upstreamResult{idx: idx, rep: rep, resp: resp, err: err, hedged: hedged}
 		}()
 	}
@@ -508,7 +530,13 @@ func (rt *Router) forward(ctx context.Context, method, path string, body []byte,
 
 		case <-hedgeC:
 			hedgeC = nil
-			launch(true)
+			// The timer was armed when a spare candidate existed, but a
+			// fast transport failure may have consumed it as a failover
+			// before the timer fired — with nothing left to hedge at,
+			// the firing is a no-op.
+			if next < len(cands) {
+				launch(true)
+			}
 		}
 	}
 	if firstErr == nil {

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -697,6 +698,78 @@ func TestRequestIDFlowsThroughFleet(t *testing.T) {
 	}
 	if e.RequestID != "caller-7" {
 		t.Fatalf("daemon error body request_id = %q, want caller-7", e.RequestID)
+	}
+}
+
+// TestHedgeFiresAfterFailoverExhaustedCandidates: with two replicas, the
+// key's owner dies at the transport (connection refused) before the
+// hedge timer fires, so the error branch consumes the last candidate as
+// an instant failover; the still-armed hedge timer then fires while that
+// attempt is in flight. Regression: launch() used to index past the
+// candidate slice and panic, aborting the request.
+func TestHedgeFiresAfterFailoverExhaustedCandidates(t *testing.T) {
+	// The survivor answers slower than the hedge delay, guaranteeing the
+	// timer fires while the failover attempt is still in flight.
+	survivor := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(100 * time.Millisecond)
+		w.Write([]byte(`{"served": true}`))
+	}))
+	t.Cleanup(survivor.Close)
+
+	// A closed listener's address refuses connections instantly.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+
+	rt, err := New(Config{
+		Replicas:        []string{dead, survivor.URL},
+		Defaults:        testDefaults(),
+		HedgeMax:        5 * time.Millisecond,
+		HedgeMinSamples: 1 << 30, // pin the hedge delay at HedgeMax
+		UpstreamRetries: -1,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any key homed on the dead replica exercises the race.
+	key := "k"
+	for i := 0; rt.ring.owner(key) != 0; i++ {
+		key = fmt.Sprintf("k%d", i)
+	}
+	resp, rep, err := rt.forward(context.Background(), http.MethodPost, "/v1/predict", []byte(`{"bench": "gzip"}`), nil, false, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, resp); string(got) != `{"served": true}` || rep != rt.reps[1] {
+		t.Fatalf("body %q from %s, want the survivor's response", got, rep.url)
+	}
+}
+
+// TestProbeDoesNotRetryNotReady: a warming replica's /readyz 503 must
+// resolve as one clean not-ready probe per pass — not be retried on the
+// request client's 429/503 backoff schedule until the probe deadline
+// converts it into a misleading timeout error.
+func TestProbeDoesNotRetryNotReady(t *testing.T) {
+	var hits atomic.Int32
+	warming := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(warming.Close)
+
+	rt, err := New(Config{Replicas: []string{warming.URL}, Defaults: testDefaults()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.ProbeOnce(context.Background())
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("/readyz hit %d times in one probe pass, want exactly 1", got)
+	}
+	if rt.reps[0].healthy.Load() {
+		t.Fatal("warming replica still in rotation after a probe pass")
 	}
 }
 
