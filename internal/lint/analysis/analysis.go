@@ -1,0 +1,157 @@
+// Package analysis is a dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary — Analyzer, Pass,
+// Diagnostic — sized for this repository's own invariant checkers.
+//
+// The upstream module is deliberately not vendored: the checkers in
+// internal/lint need exactly the surface below (a named analyzer run
+// over one type-checked package at a time, reporting positioned
+// diagnostics), and keeping the framework in-tree means fomodelvet
+// builds from a clean module cache with no network access. The shapes
+// mirror go/analysis closely enough that porting an analyzer to the
+// upstream framework is a mechanical rename.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker: a name diagnostics are
+// attributed to (and that //folint:allow comments reference), one-line
+// documentation, and the per-package Run function.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// comments. It must be a valid identifier.
+	Name string
+
+	// Doc is a short description of the invariant the analyzer
+	// enforces, shown by fomodelvet's usage text.
+	Doc string
+
+	// Run applies the analyzer to one package. Diagnostics go through
+	// pass.Report; the returned error aborts the whole run and is
+	// reserved for analyzer malfunctions, not findings.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	// Analyzer is the analyzer this pass executes.
+	Analyzer *Analyzer
+
+	// Fset maps token.Pos values in Files to file positions.
+	Fset *token.FileSet
+
+	// Files are the package's parsed source files, with comments.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo holds the type-checker's expression and identifier
+	// resolutions for Files.
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver owns suppression
+	// filtering and ordering; analyzers just report everything they
+	// find.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	// Pos is the primary position of the finding.
+	Pos token.Pos
+
+	// Analyzer names the analyzer that produced the finding; the Pass
+	// fills it in.
+	Analyzer string
+
+	// Message is the human-readable finding.
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Callee resolves the statically-known callee of call: a package-level
+// function, a method (value or pointer receiver, concrete or
+// interface), or a conversion/builtin, in which case it returns nil.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			obj = sel.Obj()
+		} else {
+			// Qualified identifier: pkg.Func.
+			obj = info.Uses[fn.Sel]
+		}
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// IsPkgFunc reports whether call statically invokes one of the named
+// package-level functions of the package with the given import path.
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	f := Callee(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	if f.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncPkgPath returns the import path of the package declaring f, or
+// "" when unknown (builtins).
+func FuncPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// RecvTypeName returns the package path and type name of f's receiver
+// base type ("", "" for non-methods and unnamed receivers). Interface
+// methods report the interface's defining package and name.
+func RecvTypeName(f *types.Func) (pkgPath, typeName string) {
+	if f == nil {
+		return "", ""
+	}
+	recv := f.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", ""
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name()
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// IsErrorType reports whether t is the built-in error interface type.
+func IsErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,19 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"fomodel/internal/lint/ctxflow"
+	"fomodel/internal/lint/linttest"
+)
+
+// TestCtxflow pins the golden diagnostics on library code.
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer, "testdata/src/ctxflow", "fomodel/internal/client")
+}
+
+// TestCtxflowExemptsMain requires silence on package main, where
+// minting root contexts is the whole point.
+func TestCtxflowExemptsMain(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer, "testdata/src/cmdmain", "fomodel/cmd/fomodeld")
+}

@@ -1,0 +1,10 @@
+// Package main is where roots are minted: context.Background is legal
+// here and only here.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	<-ctx.Done()
+}

@@ -1,0 +1,143 @@
+// Package detrand enforces the repository's determinism invariant on
+// the pure-model packages: model outputs must be byte-identical
+// across runs, worker counts, and serving surfaces, because the
+// paper's eq. 1 validation — and every byte-equality test pinning CLI
+// against daemon against proxy — is meaningless if renders drift.
+//
+// Inside the pure packages it therefore flags the three ways
+// nondeterminism leaks into computed results:
+//
+//   - wall-clock reads (time.Now / Since / Until),
+//   - the process-global math/rand source (package-level rand.Intn
+//     etc.; explicitly seeded *rand.Rand values are fine), and
+//   - ranging over a map, whose iteration order is randomized per run
+//     and reaches output the moment the loop does anything
+//     order-sensitive — including float accumulation, which is not
+//     associative.
+//
+// The one map-range shape admitted without annotation is the
+// collect-then-sort idiom: a loop whose entire body appends the range
+// key to a slice, which is order-insensitive by construction once the
+// slice is sorted. Everything else needs a //folint:allow(detrand)
+// with a reason arguing order-insensitivity.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fomodel/internal/lint/analysis"
+)
+
+// PurePackages is the set of import paths the determinism invariant
+// covers: the packages whose outputs feed rendered reports, cache
+// keys, and the byte-equality contracts between serving surfaces.
+// Serving packages (server, router, client) are exempt — they may
+// read clocks for deadlines and metrics.
+var PurePackages = map[string]bool{
+	"fomodel/internal/core":     true,
+	"fomodel/internal/uarch":    true,
+	"fomodel/internal/iw":       true,
+	"fomodel/internal/stats":    true,
+	"fomodel/internal/trace":    true,
+	"fomodel/internal/workload": true,
+	"fomodel/internal/fit":      true,
+}
+
+// Analyzer is the detrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid wall-clock, global math/rand, and order-sensitive map iteration in the pure-model packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !PurePackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if analysis.IsPkgFunc(pass.TypesInfo, call, "time", "Now", "Since", "Until") {
+		pass.Reportf(call.Pos(), "wall-clock read (time.%s) in pure-model package %s: model results must not depend on real time",
+			analysis.Callee(pass.TypesInfo, call).Name(), pass.Pkg.Name())
+		return
+	}
+	f := analysis.Callee(pass.TypesInfo, call)
+	if f != nil && analysis.FuncPkgPath(f) == "math/rand" && f.Type().(*types.Signature).Recv() == nil {
+		switch f.Name() {
+		case "New", "NewSource", "NewZipf":
+			// Constructing an explicitly seeded source is the approved
+			// path (internal/rng wraps it); only the process-global
+			// convenience functions are nondeterministic.
+		default:
+			pass.Reportf(call.Pos(), "global math/rand.%s in pure-model package %s: use an explicitly seeded *rand.Rand (internal/rng) so results are reproducible",
+				f.Name(), pass.Pkg.Name())
+		}
+	}
+}
+
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if isCollectKeys(pass, rng) {
+		return
+	}
+	pass.Reportf(rng.Pos(), "map iteration order may reach model output in pure-model package %s: collect keys and sort, or annotate with //folint:allow(detrand) <why order-insensitive>",
+		pass.Pkg.Name())
+}
+
+// isCollectKeys recognizes the one admitted map-range body:
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// whose result is order-insensitive once sorted.
+func isCollectKeys(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) != 1 || rng.Value != nil {
+		return false
+	}
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[fn].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok || arg.Name != key.Name {
+		return false
+	}
+	// The append target must be what the result is assigned to.
+	lhs, ok := asg.Lhs[0].(*ast.Ident)
+	dst, ok2 := call.Args[0].(*ast.Ident)
+	return ok && ok2 && lhs.Name == dst.Name
+}

@@ -1,0 +1,19 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"fomodel/internal/lint/detrand"
+	"fomodel/internal/lint/linttest"
+)
+
+// TestDetrand pins the golden diagnostics on a pure-model package.
+func TestDetrand(t *testing.T) {
+	linttest.Run(t, detrand.Analyzer, "testdata/src/detrand", "fomodel/internal/uarch")
+}
+
+// TestDetrandExemptsServingPackages loads the same kinds of
+// violations under a serving import path and requires silence.
+func TestDetrandExemptsServingPackages(t *testing.T) {
+	linttest.Run(t, detrand.Analyzer, "testdata/src/impure", "fomodel/internal/server")
+}

@@ -1,0 +1,59 @@
+// Fixture for the detrand analyzer, type-checked under a pure-model
+// import path.
+package uarch
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `wall-clock read \(time\.Now\)`
+	return time.Since(start) // want `wall-clock read \(time\.Since\)`
+}
+
+func seededIsFine() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle`
+}
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func floatAccumulation(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `map iteration order`
+		total += v
+	}
+	return total
+}
+
+func renderedOrder(m map[string]int) {
+	for k, v := range m { // want `map iteration order`
+		fmt.Println(k, v)
+	}
+}
+
+func arraysAreFine(xs [4]int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

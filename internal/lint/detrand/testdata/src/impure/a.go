@@ -1,0 +1,23 @@
+// The same nondeterminism sources as the detrand fixture, but loaded
+// under a serving-package import path: none of it may be flagged —
+// servers are allowed clocks, jitter, and map-order metrics.
+package server
+
+import (
+	"math/rand"
+	"time"
+)
+
+func deadline() time.Time { return time.Now().Add(time.Second) }
+
+func jitter(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
+}
+
+func anyOrder(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,46 @@
+// Fixture for the //folint:allow suppression path, loaded under a
+// pure-model import path so detrand fires. Each function is one case
+// of the suppression contract.
+package uarch
+
+import "time"
+
+// annotatedAbove: the comment-above form suppresses the diagnostic on
+// the next line.
+func annotatedAbove() time.Time {
+	//folint:allow(detrand) fixture: annotated violation must pass
+	return time.Now()
+}
+
+// annotatedTrailing: the same-line form suppresses too.
+func annotatedTrailing() time.Time {
+	return time.Now() //folint:allow(detrand) fixture: trailing annotation must pass
+}
+
+// unannotatedTwin is the identical violation without an annotation;
+// it must still be reported.
+func unannotatedTwin() time.Time {
+	return time.Now()
+}
+
+// stale carries an annotation with no matching diagnostic left; the
+// annotation itself must be reported as unused.
+func stale() int {
+	//folint:allow(detrand) fixture: nothing wrong on the next line anymore
+	return 1
+}
+
+// missingReason suppresses its diagnostic but must be reported for
+// carrying no written reason.
+func missingReason() time.Time {
+	//folint:allow(detrand)
+	return time.Now()
+}
+
+// otherAnalyzer names an analyzer outside the running set; it must be
+// left alone (single-analyzer runs must not call the other suite
+// members' annotations stale) and must not suppress detrand.
+func otherAnalyzer() time.Time {
+	//folint:allow(lockheld) fixture: names a different analyzer
+	return time.Now()
+}

@@ -1,0 +1,20 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"fomodel/internal/lint/errdrop"
+	"fomodel/internal/lint/linttest"
+)
+
+// TestErrdrop pins the golden diagnostics on an error-critical
+// package.
+func TestErrdrop(t *testing.T) {
+	linttest.Run(t, errdrop.Analyzer, "testdata/src/errdrop", "fomodel/internal/server")
+}
+
+// TestErrdropScopedToCriticalPackages requires silence outside the
+// handler/router/store packages.
+func TestErrdropScopedToCriticalPackages(t *testing.T) {
+	linttest.Run(t, errdrop.Analyzer, "testdata/src/exempt", "fomodel/internal/experiments")
+}

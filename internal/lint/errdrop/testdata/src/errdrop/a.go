@@ -1,0 +1,53 @@
+// Fixture for the errdrop analyzer, loaded under the server import
+// path (one of the error-critical packages).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+type payload struct{ X int }
+
+func marshalDrop(p payload) []byte {
+	b, _ := json.Marshal(p) // want `error result of json\.Marshal discarded`
+	return b
+}
+
+func statementDrop(f *os.File, p payload) {
+	json.NewEncoder(f).Encode(p) // want `error result of Encoder\.Encode ignored`
+	os.Remove("stale")           // want `error result of os\.Remove ignored`
+}
+
+func blankAssign(f *os.File) {
+	_ = f.Close() // want `error value of File\.Close discarded`
+}
+
+func deferredCloseIsIdiomatic(f *os.File) {
+	defer f.Close()
+}
+
+func handled(p payload) ([]byte, error) {
+	return json.Marshal(p)
+}
+
+func commaOkIsNotAnError(v any) string {
+	s, _ := v.(string)
+	return s
+}
+
+func nonErrorResultsAreFine(m map[string]int) int {
+	n, _ := m["x"]
+	return n
+}
+
+func fprintfStatementIsIdiomatic(w io.Writer) {
+	fmt.Fprintf(w, "metric %d\n", 1)
+	fmt.Fprintln(w, "done")
+}
+
+func fprintfBlankDiscardStillFlagged(w io.Writer) {
+	_, _ = fmt.Fprintf(w, "x") // want `error result of fmt\.Fprintf discarded`
+}

@@ -1,0 +1,11 @@
+// The same drops outside the error-critical packages: not errdrop's
+// business (the experiments engine reports errors through its own
+// report types).
+package experiments
+
+import "encoding/json"
+
+func marshalDrop(v any) []byte {
+	b, _ := json.Marshal(v)
+	return b
+}

@@ -1,0 +1,27 @@
+// Package lint assembles the fomodelvet analyzer suite: the custom
+// go/analysis-style checkers that mechanically enforce this
+// repository's own invariants — determinism of the pure model,
+// canonical request keying, context and lock discipline, and error
+// handling on the serving path. See DESIGN.md §7 for what each
+// invariant protects and why.
+package lint
+
+import (
+	"fomodel/internal/lint/analysis"
+	"fomodel/internal/lint/ctxflow"
+	"fomodel/internal/lint/detrand"
+	"fomodel/internal/lint/errdrop"
+	"fomodel/internal/lint/lockheld"
+	"fomodel/internal/lint/reqkeycheck"
+)
+
+// Analyzers returns the full fomodelvet suite, in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		detrand.Analyzer,
+		errdrop.Analyzer,
+		lockheld.Analyzer,
+		reqkeycheck.Analyzer,
+	}
+}

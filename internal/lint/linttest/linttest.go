@@ -1,0 +1,104 @@
+// Package linttest is the golden-diagnostic harness for the
+// fomodelvet analyzers, modeled on x/tools' analysistest: testdata
+// packages carry `// want "regexp"` comments on the lines where an
+// analyzer must fire, and the harness fails on any diagnostic without
+// a want as well as any want without a diagnostic.
+package linttest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fomodel/internal/lint/analysis"
+	"fomodel/internal/lint/load"
+)
+
+// expectation is one `// want` regexp waiting on a diagnostic at its
+// file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// wantTokenRE splits the arguments of a want comment into Go string
+// literals (interpreted or raw).
+var wantTokenRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads the single package under dir (a testdata directory) as
+// import path pkgPath, applies the analyzer, and compares its
+// diagnostics against the package's want comments. The import path
+// matters: analyzers that scope themselves to specific packages (for
+// example detrand's pure-model set) see the testdata package under
+// exactly the path the test chooses.
+func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	pkg, err := load.Dir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, tok := range wantTokenRE.FindAllString(strings.TrimPrefix(text, "want "), -1) {
+					pattern, err := strconv.Unquote(tok)
+					if err != nil {
+						t.Fatalf("%s: bad want literal %s: %v", pos, tok, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pattern})
+				}
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !match(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// match consumes the first unhit expectation covering the diagnostic.
+func match(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}

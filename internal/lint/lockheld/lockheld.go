@@ -1,0 +1,341 @@
+// Package lockheld flags blocking I/O performed while a sync.Mutex
+// or sync.RWMutex is held. The serving path's latency tail is set by
+// its critical sections: a file read, network call, or channel send
+// under a hot lock turns one slow syscall into a convoy of blocked
+// request goroutines, and — for locks shared with the request path —
+// a deadline-less hang into a whole-process stall.
+//
+// The analysis is per-function and deliberately conservative: it
+// tracks Lock/RLock calls through straight-line code and branches
+// (branch-local releases do not leak out), treats `defer Unlock` as
+// holding the lock for the remainder of the function, and inside the
+// held region flags
+//
+//   - channel sends (a full channel blocks forever under the lock),
+//   - file-system calls (package os, *os.File methods),
+//   - network calls (package net dial/listen/lookup and connection
+//     types, net/http clients, servers and response writers), and
+//   - io.Copy / io.ReadAll, whose endpoints are usually one of the
+//     above.
+//
+// Function literals are analyzed as their own functions: a closure
+// does not inherit the creating function's lock state (it usually
+// runs elsewhere), and a lock taken inside it is tracked on its own.
+// Intentional I/O under a lock — an eviction scan that exists to be
+// serialized, say — takes a //folint:allow(lockheld) with the reason.
+package lockheld
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"fomodel/internal/lint/analysis"
+)
+
+// Analyzer is the lockheld pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc:  "forbid channel sends and file/network I/O while a sync mutex is held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					c.stmts(fn.Body.List, lockSet{})
+				}
+			case *ast.FuncLit:
+				c.stmts(fn.Body.List, lockSet{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockSet maps the printed receiver expression of a held lock
+// ("s.mu", "pc.mu") to the position it was taken.
+type lockSet map[string]token.Pos
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// names lists the held locks, deterministically.
+func (s lockSet) names() string {
+	ns := make([]string, 0, len(s))
+	for n := range s {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return strings.Join(ns, ", ")
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// stmts walks a statement list in order, threading lock state through
+// it. Nested scopes get a clone: a lock taken or released inside a
+// branch is not assumed on the code after it.
+func (c *checker) stmts(list []ast.Stmt, held lockSet) {
+	for _, s := range list {
+		c.stmt(s, held)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt, held lockSet) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if recv, kind, ok := c.lockOp(s.X); ok {
+			switch kind {
+			case opLock:
+				held[recv] = s.Pos()
+			case opUnlock:
+				delete(held, recv)
+			}
+			return
+		}
+		c.scan(s.X, held)
+	case *ast.DeferStmt:
+		if recv, kind, ok := c.lockOp(s.Call); ok && kind == opUnlock {
+			// Held until return: everything after this defer runs
+			// under the lock.
+			_ = recv
+			return
+		}
+		// Other deferred work runs at return, when the lock state is
+		// unknowable here; only its argument expressions are checked.
+		for _, a := range s.Call.Args {
+			c.scan(a, held)
+		}
+	case *ast.SendStmt:
+		c.flagSend(s, held)
+		c.scan(s.Chan, held)
+		c.scan(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.scan(e, held)
+		}
+		for _, e := range s.Lhs {
+			c.scan(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.scan(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		c.scan(s.Cond, held)
+		c.stmts(s.Body.List, held.clone())
+		if s.Else != nil {
+			c.stmt(s.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.scan(s.Cond, held)
+		}
+		body := held.clone()
+		c.stmts(s.Body.List, body)
+		if s.Post != nil {
+			c.stmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		c.scan(s.X, held)
+		c.stmts(s.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.scan(s.Tag, held)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.stmts(cl.Body, held.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.stmts(cl.Body, held.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			cl, ok := cc.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cl.Comm.(*ast.SendStmt); ok {
+				c.flagSend(send, held)
+			}
+			c.stmts(cl.Body, held.clone())
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List, held.clone())
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, held)
+	case *ast.GoStmt:
+		// The goroutine does not run under this function's locks;
+		// only the argument evaluation does.
+		for _, a := range s.Call.Args {
+			c.scan(a, held)
+		}
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt:
+		// No calls that matter, or handled by scan below where needed.
+		if ds, ok := s.(*ast.DeclStmt); ok {
+			c.scan(ds, held)
+		}
+	default:
+	}
+}
+
+// scan inspects an expression tree (never descending into function
+// literals) and flags I/O calls made while locks are held.
+func (c *checker) scan(n ast.Node, held lockSet) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if desc, ok := c.ioCall(call); ok {
+				c.pass.Reportf(call.Pos(), "%s while %s is held: move the I/O outside the critical section", desc, held.names())
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) flagSend(s *ast.SendStmt, held lockSet) {
+	if len(held) > 0 {
+		c.pass.Reportf(s.Arrow, "channel send while %s is held: a full channel blocks every goroutine waiting on the lock", held.names())
+	}
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opUnlock
+)
+
+// lockOp recognizes x.Lock/RLock/Unlock/RUnlock on sync.Mutex,
+// sync.RWMutex, or sync.Locker, returning the printed receiver.
+func (c *checker) lockOp(e ast.Expr) (recv string, kind lockOpKind, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", opNone, false
+	}
+	f := analysis.Callee(c.pass.TypesInfo, call)
+	pkg, typ := analysis.RecvTypeName(f)
+	if pkg != "sync" || (typ != "Mutex" && typ != "RWMutex" && typ != "Locker") {
+		return "", opNone, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", opNone, false
+	}
+	switch f.Name() {
+	case "Lock", "RLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return "", opNone, false
+	}
+	return types.ExprString(sel.X), kind, true
+}
+
+// osFileFuncs are the package-level os functions that touch the file
+// system (cheap querying of the process environment is not I/O in
+// the sense this analyzer cares about).
+var osFileFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true, "MkdirTemp": true,
+	"Remove": true, "RemoveAll": true, "Rename": true,
+	"Mkdir": true, "MkdirAll": true, "Stat": true, "Lstat": true,
+	"Truncate": true, "Chmod": true, "Chtimes": true, "Link": true, "Symlink": true,
+}
+
+// netRecvTypes are the net types whose methods perform network I/O.
+var netRecvTypes = map[string]bool{
+	"Conn": true, "TCPConn": true, "UDPConn": true, "UnixConn": true,
+	"Listener": true, "TCPListener": true, "UnixListener": true,
+	"Dialer": true, "Resolver": true, "PacketConn": true,
+}
+
+// httpRecvTypes are the net/http types whose methods reach the wire.
+var httpRecvTypes = map[string]bool{
+	"Client": true, "Transport": true, "Server": true,
+	"ResponseWriter": true, "Flusher": true,
+}
+
+// ioCall classifies a call as blocking I/O, returning a description
+// for the diagnostic.
+func (c *checker) ioCall(call *ast.CallExpr) (string, bool) {
+	f := analysis.Callee(c.pass.TypesInfo, call)
+	if f == nil {
+		return "", false
+	}
+	if rpkg, rtyp := analysis.RecvTypeName(f); rpkg != "" {
+		switch {
+		case rpkg == "os" && rtyp == "File":
+			return "file I/O ((*os.File)." + f.Name() + ")", true
+		case rpkg == "net" && netRecvTypes[rtyp]:
+			return "network I/O (net." + rtyp + "." + f.Name() + ")", true
+		case rpkg == "net/http" && httpRecvTypes[rtyp]:
+			return "network I/O (http." + rtyp + "." + f.Name() + ")", true
+		case rpkg == "os/exec" && rtyp == "Cmd":
+			switch f.Name() {
+			case "Run", "Start", "Wait", "Output", "CombinedOutput":
+				return "subprocess I/O (exec.Cmd." + f.Name() + ")", true
+			}
+		}
+		return "", false
+	}
+	switch analysis.FuncPkgPath(f) {
+	case "os":
+		if osFileFuncs[f.Name()] {
+			return "file I/O (os." + f.Name() + ")", true
+		}
+	case "net":
+		if strings.HasPrefix(f.Name(), "Dial") || strings.HasPrefix(f.Name(), "Listen") || strings.HasPrefix(f.Name(), "Lookup") {
+			return "network I/O (net." + f.Name() + ")", true
+		}
+	case "net/http":
+		switch f.Name() {
+		case "Get", "Post", "Head", "PostForm", "Serve", "ServeTLS", "ListenAndServe", "ListenAndServeTLS":
+			return "network I/O (http." + f.Name() + ")", true
+		}
+	case "io":
+		switch f.Name() {
+		case "Copy", "CopyN", "CopyBuffer", "ReadAll":
+			return "potential file/network I/O (io." + f.Name() + ")", true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,14 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"fomodel/internal/lint/linttest"
+	"fomodel/internal/lint/lockheld"
+)
+
+// TestLockheld pins the golden diagnostics: I/O and sends under held
+// mutexes fire, released and closure-deferred work does not.
+func TestLockheld(t *testing.T) {
+	linttest.Run(t, lockheld.Analyzer, "testdata/src/lockheld", "fomodel/internal/artifact")
+}

@@ -1,0 +1,115 @@
+// Fixture for the lockheld analyzer.
+package store
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+}
+
+func (s *store) scanUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	os.ReadDir("/tmp") // want `file I/O \(os\.ReadDir\) while s\.mu is held`
+}
+
+func (s *store) releasedFirst() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	os.Remove("/tmp/x")
+}
+
+func (s *store) branchRelease(cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		os.Remove("/tmp/x")
+		return
+	}
+	os.Remove("/tmp/y") // want `file I/O \(os\.Remove\) while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *store) send(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *store) sendAfterUnlock(v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+func (s *store) selectSend(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v: // want `channel send while s\.mu is held`
+	default:
+	}
+}
+
+func (s *store) readLockIO(f *os.File) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	f.Sync() // want `file I/O \(\(\*os\.File\)\.Sync\) while s\.rw is held`
+}
+
+func (s *store) httpUnderLock(c *http.Client, req *http.Request) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp, err := c.Do(req) // want `network I/O \(http\.Client\.Do\) while s\.mu is held`
+	if err == nil {
+		resp.Body.Close()
+	}
+	return err
+}
+
+func (s *store) readAllUnderLock(r io.Reader) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return io.ReadAll(r) // want `potential file/network I/O \(io\.ReadAll\) while s\.mu is held`
+}
+
+func (s *store) closureHasOwnState(c *http.Client, req *http.Request) func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The literal is not executed here; it is analyzed as its own
+	// function with its own (empty) lock state.
+	return func() {
+		resp, err := c.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}
+}
+
+func (s *store) closureOwnLock(f *os.File) func() {
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		f.Sync() // want `file I/O \(\(\*os\.File\)\.Sync\) while s\.mu is held`
+	}
+}
+
+func (s *store) goroutineNotUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		os.Remove("/tmp/x")
+	}()
+}
+
+func noLockNoFindings(f *os.File) {
+	f.Sync()
+	os.ReadDir("/tmp")
+}

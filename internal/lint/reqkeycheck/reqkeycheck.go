@@ -1,0 +1,206 @@
+// Package reqkeycheck guards the canonical-key contract between the
+// daemon and the proxy (PR 7): every response-cache key and every
+// routing decision derived from request fields must flow through
+// internal/reqkey. The whole cache-aware topology rests on the two
+// sides producing the same string for the same request — a hand-rolled
+// fmt.Sprintf key in a handler and a subtly different one in the
+// router is exactly the drift the shared package exists to make
+// impossible, so this analyzer makes the hand-rolled form illegal in
+// the serving packages.
+//
+// Mechanically, it looks for string-building expressions — fmt.Sprintf
+// and friends, strings.Join, and + concatenation of non-constant
+// strings — in "key positions":
+//
+//   - assignments to variables or fields whose name ends in "key",
+//   - arguments to parameters whose name ends in "key", and
+//   - return values of functions whose name ends in "Key".
+//
+// Values produced by internal/reqkey (or passed through untouched)
+// are fine; building one by hand is the finding.
+package reqkeycheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fomodel/internal/lint/analysis"
+)
+
+// Packages scopes the analyzer to the two sides of the key contract.
+var Packages = map[string]bool{
+	"fomodel/internal/server": true,
+	"fomodel/internal/router": true,
+}
+
+// Analyzer is the reqkeycheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "reqkeycheck",
+	Doc:  "require cache/routing keys to be derived via internal/reqkey, not hand-rolled string building",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !Packages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// stack holds the path of nodes from the file to the current
+		// one, so a return statement resolves to its *innermost*
+		// enclosing function — a literal's return is not the named
+		// function's return.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			case *ast.ValueSpec:
+				checkValueSpec(pass, n)
+			case *ast.CallExpr:
+				checkCallArgs(pass, n)
+			case *ast.KeyValueExpr:
+				checkFieldInit(pass, n)
+			case *ast.ReturnStmt:
+				if fn := enclosingFuncDecl(stack); fn != nil {
+					checkReturn(pass, fn, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingFuncDecl returns the innermost enclosing function only
+// when it is a named declaration; returns inside literals are not
+// judged by the outer function's name.
+func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			return nil
+		case *ast.FuncDecl:
+			return fn
+		}
+	}
+	return nil
+}
+
+// keyName reports whether an identifier names a key.
+func keyName(name string) bool {
+	return strings.HasSuffix(strings.ToLower(name), "key")
+}
+
+func checkAssign(pass *analysis.Pass, asg *ast.AssignStmt) {
+	if len(asg.Lhs) != len(asg.Rhs) {
+		return
+	}
+	for i, lhs := range asg.Lhs {
+		name := ""
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			name = l.Name
+		case *ast.SelectorExpr:
+			name = l.Sel.Name
+		}
+		if keyName(name) {
+			checkKeyExpr(pass, asg.Rhs[i], "assigned to "+name)
+		}
+	}
+}
+
+func checkValueSpec(pass *analysis.Pass, spec *ast.ValueSpec) {
+	if len(spec.Names) != len(spec.Values) {
+		return
+	}
+	for i, n := range spec.Names {
+		if keyName(n.Name) {
+			checkKeyExpr(pass, spec.Values[i], "assigned to "+n.Name)
+		}
+	}
+}
+
+// checkCallArgs checks arguments against the callee's parameter
+// names, which survive in export data.
+func checkCallArgs(pass *analysis.Pass, call *ast.CallExpr) {
+	f := analysis.Callee(pass.TypesInfo, call)
+	if f == nil {
+		return
+	}
+	sig := f.Type().(*types.Signature)
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= sig.Params().Len()-1 {
+			pi = sig.Params().Len() - 1
+		}
+		if pi >= sig.Params().Len() {
+			break
+		}
+		if keyName(sig.Params().At(pi).Name()) {
+			checkKeyExpr(pass, arg, "passed as "+sig.Params().At(pi).Name()+" to "+f.Name())
+		}
+	}
+}
+
+func checkFieldInit(pass *analysis.Pass, kv *ast.KeyValueExpr) {
+	if id, ok := kv.Key.(*ast.Ident); ok && keyName(id.Name) {
+		checkKeyExpr(pass, kv.Value, "stored in field "+id.Name)
+	}
+}
+
+func checkReturn(pass *analysis.Pass, fn *ast.FuncDecl, ret *ast.ReturnStmt) {
+	if !strings.HasSuffix(fn.Name.Name, "Key") && !strings.HasSuffix(fn.Name.Name, "key") {
+		return
+	}
+	for _, r := range ret.Results {
+		if tv, ok := pass.TypesInfo.Types[r]; ok && isString(tv.Type) {
+			checkKeyExpr(pass, r, "returned from "+fn.Name.Name)
+		}
+	}
+}
+
+// checkKeyExpr flags hand-rolled string building in a key position.
+func checkKeyExpr(pass *analysis.Pass, e ast.Expr, where string) {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		info := pass.TypesInfo
+		switch {
+		case analysis.IsPkgFunc(info, e, "fmt", "Sprintf", "Sprint", "Sprintln", "Appendf"):
+			pass.Reportf(e.Pos(), "hand-rolled key via fmt.%s %s: derive request keys through internal/reqkey so routing and caching cannot disagree",
+				analysis.Callee(info, e).Name(), where)
+		case analysis.IsPkgFunc(info, e, "strings", "Join"):
+			pass.Reportf(e.Pos(), "hand-rolled key via strings.Join %s: derive request keys through internal/reqkey so routing and caching cannot disagree", where)
+		}
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD && isString(pass.TypesInfo.Types[e].Type) && !allConstant(pass, e) {
+			pass.Reportf(e.Pos(), "hand-rolled key via string concatenation %s: derive request keys through internal/reqkey so routing and caching cannot disagree", where)
+		}
+	}
+}
+
+// allConstant reports whether every leaf of a + chain is a constant;
+// concatenating constants is formatting, not key derivation.
+func allConstant(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if b, ok := e.(*ast.BinaryExpr); ok && b.Op == token.ADD {
+		return allConstant(pass, b.X) && allConstant(pass, b.Y)
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,20 @@
+package reqkeycheck_test
+
+import (
+	"testing"
+
+	"fomodel/internal/lint/linttest"
+	"fomodel/internal/lint/reqkeycheck"
+)
+
+// TestReqkeycheck pins the golden diagnostics on a serving package.
+func TestReqkeycheck(t *testing.T) {
+	linttest.Run(t, reqkeycheck.Analyzer, "testdata/src/reqkeycheck", "fomodel/internal/server")
+}
+
+// TestReqkeycheckScoped requires silence outside the server/router
+// packages: the artifact store and experiments build their own
+// content keys by design.
+func TestReqkeycheckScoped(t *testing.T) {
+	linttest.Run(t, reqkeycheck.Analyzer, "testdata/src/exempt", "fomodel/internal/artifact")
+}

@@ -1,0 +1,11 @@
+// Hand-built keys outside the serving packages: the artifact store's
+// content keys are its own namespace, not request keys, and are not
+// reqkeycheck's business.
+package artifact
+
+import "fmt"
+
+func contentKey(bench string, n int, seed uint64) string {
+	key := fmt.Sprintf("%s|%d|%d", bench, n, seed)
+	return key
+}

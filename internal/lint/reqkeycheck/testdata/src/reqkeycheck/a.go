@@ -1,0 +1,72 @@
+// Fixture for the reqkeycheck analyzer, loaded under the server
+// import path (one side of the daemon/proxy key contract).
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"fomodel/internal/reqkey"
+)
+
+type cache struct{}
+
+func (c *cache) insert(key string, v any)     {}
+func (c *cache) lookup(cacheKey string) any   { return nil }
+func (c *cache) evict(n int)                  {}
+func route(replicas []string, key string) int { return len(key) % len(replicas) }
+
+func canonicalIsTheWay(endpoint string, v any) (string, error) {
+	return reqkey.Canonical(endpoint, v)
+}
+
+func sprintfKey(bench string, n int) {
+	key := fmt.Sprintf("%s-%d", bench, n) // want `hand-rolled key via fmt\.Sprintf assigned to key`
+	var c cache
+	c.insert(key, nil)
+}
+
+func concatArg(c *cache, bench string) {
+	c.insert("predict:"+bench, nil) // want `hand-rolled key via string concatenation passed as key to insert`
+}
+
+func joinArg(c *cache, parts []string) {
+	c.lookup(strings.Join(parts, "\x00")) // want `hand-rolled key via strings\.Join passed as cacheKey to lookup`
+}
+
+func routeArg(replicas []string, bench string, n int) int {
+	return route(replicas, fmt.Sprintf("%s/%d", bench, n)) // want `hand-rolled key via fmt\.Sprintf passed as key to route`
+}
+
+func SweepRouteKey(bench string, n int) string {
+	if n > 0 {
+		return fmt.Sprintf("%s:%d", bench, n) // want `hand-rolled key via fmt\.Sprintf returned from SweepRouteKey`
+	}
+	return bench + ":sweep" // want `hand-rolled key via string concatenation returned from SweepRouteKey`
+}
+
+type routedRequest struct{ cacheKey string }
+
+func fieldInit(bench string) routedRequest {
+	return routedRequest{cacheKey: "r-" + bench} // want `hand-rolled key via string concatenation stored in field cacheKey`
+}
+
+const workloadsKey = "workloads"
+
+func constantsAreFormattingNotDerivation() string {
+	key := "sweep" + ":" + "all"
+	return key
+}
+
+func passThroughIsFine(c *cache, k string) {
+	c.insert(k, nil)
+}
+
+func errorMessagesAreNotKeys(bench string) error {
+	return fmt.Errorf("unknown bench %q", bench)
+}
+
+func nonKeyPositionsIgnored(bench string, n int) string {
+	label := fmt.Sprintf("%s-%d", bench, n)
+	return label
+}
