@@ -10,6 +10,7 @@
 package fomodel_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -321,12 +322,16 @@ func BenchmarkPredictorStudy(b *testing.B) {
 }
 
 func BenchmarkWindowSweep(b *testing.B) {
-	res := run(b, experiments.WindowSweep)
+	res := run(b, func(s *experiments.Suite) (*experiments.SweepResult, error) {
+		return experiments.WindowSweep(context.Background(), s)
+	})
 	b.ReportMetric(100*res.MeanAbsErr, "cpi_err_pct")
 }
 
 func BenchmarkROBSweep(b *testing.B) {
-	res := run(b, experiments.ROBSweep)
+	res := run(b, func(s *experiments.Suite) (*experiments.SweepResult, error) {
+		return experiments.ROBSweep(context.Background(), s)
+	})
 	b.ReportMetric(100*res.MeanAbsErr, "cpi_err_pct")
 }
 

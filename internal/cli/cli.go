@@ -237,8 +237,10 @@ func Fosim(args []string, out io.Writer) error {
 // locally: the workloads are evaluated by a fomodeld daemon through one
 // /v1/batch round trip, and the output — table or -json — is identical
 // to the local run's, because the daemon's per-item bodies are pinned
-// byte-equal to `fomodel -json` output.
-func Fomodel(args []string, out io.Writer) error {
+// byte-equal to `fomodel -json` output. ctx bounds the remote call, so
+// an interrupt cancels an in-flight batch instead of leaving it to the
+// request timeout.
+func Fomodel(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fomodel", flag.ContinueOnError)
 	fs.SetOutput(out)
 	n := fs.Int("n", 500000, "dynamic instructions per workload")
@@ -306,7 +308,7 @@ func Fomodel(args []string, out io.Writer) error {
 		}
 		cl := client.New(*remote)
 		cl.RequestTimeout = *remoteTimeout
-		batch, err := cl.Batch(context.Background(), items)
+		batch, err := cl.Batch(ctx, items)
 		if err != nil {
 			return fmt.Errorf("fomodel: %w", err)
 		}

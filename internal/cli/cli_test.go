@@ -2,7 +2,10 @@ package cli
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -131,7 +134,7 @@ func TestFosimProfile(t *testing.T) {
 
 func TestFomodel(t *testing.T) {
 	var out bytes.Buffer
-	if err := Fomodel([]string{"-n", "20000", "gzip"}, &out); err != nil {
+	if err := Fomodel(context.Background(), []string{"-n", "20000", "gzip"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "modelCPI") {
@@ -141,7 +144,7 @@ func TestFomodel(t *testing.T) {
 
 func TestFomodelSim(t *testing.T) {
 	var out bytes.Buffer
-	if err := Fomodel([]string{"-n", "20000", "-sim", "gzip"}, &out); err != nil {
+	if err := Fomodel(context.Background(), []string{"-n", "20000", "-sim", "gzip"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "err%") {
@@ -152,19 +155,19 @@ func TestFomodelSim(t *testing.T) {
 func TestFomodelBranchModes(t *testing.T) {
 	for _, mode := range []string{"midpoint", "isolated", "measured"} {
 		var out bytes.Buffer
-		if err := Fomodel([]string{"-n", "10000", "-branch-mode", mode, "gzip"}, &out); err != nil {
+		if err := Fomodel(context.Background(), []string{"-n", "10000", "-branch-mode", mode, "gzip"}, &out); err != nil {
 			t.Fatalf("%s: %v", mode, err)
 		}
 	}
 	var out bytes.Buffer
-	if err := Fomodel([]string{"-branch-mode", "nonsense", "gzip"}, &out); err == nil {
+	if err := Fomodel(context.Background(), []string{"-branch-mode", "nonsense", "gzip"}, &out); err == nil {
 		t.Fatal("bad branch mode accepted")
 	}
 }
 
 func TestExperimentsList(t *testing.T) {
 	var out bytes.Buffer
-	if err := Experiments([]string{"-list"}, &out); err != nil {
+	if err := Experiments(context.Background(), []string{"-list"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"fig2", "fig15", "table1", "ext-tlb", "statsim", "refine-branch"} {
@@ -176,7 +179,7 @@ func TestExperimentsList(t *testing.T) {
 
 func TestExperimentsRun(t *testing.T) {
 	var out bytes.Buffer
-	if err := Experiments([]string{"-n", "20000", "-quiet", "fig8"}, &out); err != nil {
+	if err := Experiments(context.Background(), []string{"-n", "20000", "-quiet", "fig8"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "drain") {
@@ -187,7 +190,7 @@ func TestExperimentsRun(t *testing.T) {
 func TestExperimentsCSVAndOut(t *testing.T) {
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := Experiments([]string{"-n", "20000", "-csv", "-out", dir, "-quiet", "table1"}, &out); err != nil {
+	if err := Experiments(context.Background(), []string{"-n", "20000", "-csv", "-out", dir, "-quiet", "table1"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
@@ -201,7 +204,7 @@ func TestExperimentsCSVAndOut(t *testing.T) {
 
 func TestExperimentsUnknownLabel(t *testing.T) {
 	var out bytes.Buffer
-	if err := Experiments([]string{"nonsense"}, &out); err == nil {
+	if err := Experiments(context.Background(), []string{"nonsense"}, &out); err == nil {
 		t.Fatal("unknown label accepted")
 	}
 }
@@ -215,7 +218,7 @@ func TestExperimentsParallelDeterminism(t *testing.T) {
 	run := func(parallel string) string {
 		var out bytes.Buffer
 		args := append([]string{"-n", "20000", "-quiet", "-parallel", parallel}, labels...)
-		if err := Experiments(args, &out); err != nil {
+		if err := Experiments(context.Background(), args, &out); err != nil {
 			t.Fatal(err)
 		}
 		return out.String()
@@ -229,7 +232,7 @@ func TestExperimentsParallelDeterminism(t *testing.T) {
 
 func TestExperimentsTiming(t *testing.T) {
 	var out bytes.Buffer
-	if err := Experiments([]string{"-n", "20000", "-quiet", "-timing", "fig8", "table1"}, &out); err != nil {
+	if err := Experiments(context.Background(), []string{"-n", "20000", "-quiet", "-timing", "fig8", "table1"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -269,7 +272,7 @@ func TestFosimBadFUFlag(t *testing.T) {
 
 func TestFomodelExtensionFlags(t *testing.T) {
 	var out bytes.Buffer
-	if err := Fomodel([]string{"-n", "15000", "-clusters", "2", "-tlb",
+	if err := Fomodel(context.Background(), []string{"-n", "15000", "-clusters", "2", "-tlb",
 		"-fetch-buffer", "16", "gzip"}, &out); err != nil {
 		t.Fatal(err)
 	}
@@ -312,10 +315,10 @@ func TestFomodelRemoteMatchesLocal(t *testing.T) {
 	} {
 		args := append([]string{"-n", "15000"}, extra...)
 		var local, remote bytes.Buffer
-		if err := Fomodel(append(args, "gzip", "mcf"), &local); err != nil {
+		if err := Fomodel(context.Background(), append(args, "gzip", "mcf"), &local); err != nil {
 			t.Fatalf("%v local: %v", extra, err)
 		}
-		if err := Fomodel(append(append([]string{"-remote", srv.URL}, args...), "gzip", "mcf"), &remote); err != nil {
+		if err := Fomodel(context.Background(), append(append([]string{"-remote", srv.URL}, args...), "gzip", "mcf"), &remote); err != nil {
 			t.Fatalf("%v remote: %v", extra, err)
 		}
 		if local.String() != remote.String() {
@@ -331,25 +334,25 @@ func TestFomodelRemoteErrors(t *testing.T) {
 
 	var out bytes.Buffer
 	// -profile workloads only exist locally; the combination is rejected.
-	if err := Fomodel([]string{"-remote", srv.URL, "-profile", "x.json"}, &out); err == nil ||
+	if err := Fomodel(context.Background(), []string{"-remote", srv.URL, "-profile", "x.json"}, &out); err == nil ||
 		!strings.Contains(err.Error(), "-profile") {
 		t.Errorf("remote+profile: err = %v, want a -profile rejection", err)
 	}
 	// A per-item failure surfaces as the command's error, named by bench.
-	if err := Fomodel([]string{"-remote", srv.URL, "gzip", "nonsense"}, &out); err == nil ||
+	if err := Fomodel(context.Background(), []string{"-remote", srv.URL, "gzip", "nonsense"}, &out); err == nil ||
 		!strings.Contains(err.Error(), "nonsense") {
 		t.Errorf("remote unknown bench: err = %v, want it named", err)
 	}
 	// An unreachable daemon is an error, not a hang (retries are bounded).
 	c := []string{"-remote", "http://127.0.0.1:1", "gzip"}
-	if err := Fomodel(c, &out); err == nil {
+	if err := Fomodel(context.Background(), c, &out); err == nil {
 		t.Errorf("unreachable daemon: want an error")
 	}
 }
 
 func TestFomodelJSON(t *testing.T) {
 	var out bytes.Buffer
-	if err := Fomodel([]string{"-n", "15000", "-json", "-sim", "gzip"}, &out); err != nil {
+	if err := Fomodel(context.Background(), []string{"-n", "15000", "-json", "-sim", "gzip"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	var record struct {
@@ -364,5 +367,36 @@ func TestFomodelJSON(t *testing.T) {
 	}
 	if record.Bench != "gzip" || record.Estimate.CPI <= 0 || record.SimCPI == nil || *record.SimCPI <= 0 {
 		t.Fatalf("record incomplete: %+v", record)
+	}
+}
+
+// TestFomodelRemoteHonorsContext pins that cancelling the context (an
+// interrupt) aborts an in-flight -remote batch immediately, rather
+// than leaving the request to run out its timeout.
+func TestFomodelRemoteHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{}, 1)
+	done := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-r.Context().Done():
+		case <-done:
+		}
+	}))
+	defer srv.Close()
+	defer close(done)
+	go func() {
+		<-started
+		cancel()
+	}()
+	var out bytes.Buffer
+	err := Fomodel(ctx, []string{"-remote", srv.URL, "-remote-timeout", "30s", "gzip"}, &out)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled from a cancelled remote batch, got %v", err)
 	}
 }

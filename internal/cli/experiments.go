@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -16,7 +17,7 @@ import (
 // worker pool (-parallel), but their outputs are always written in label
 // order, so any -parallel value produces byte-identical output (modulo
 // the wall-time annotations suppressed by -quiet).
-func Experiments(args []string, out io.Writer) error {
+func Experiments(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(out)
 	n := fs.Int("n", 500000, "dynamic instructions per workload")
@@ -66,7 +67,7 @@ func Experiments(args []string, out io.Writer) error {
 	err := experiments.RunOrdered(*parallel, len(labels), func(i int) (rendered, error) {
 		label := labels[i]
 		start := time.Now()
-		res, err := reg[label](suite)
+		res, err := reg[label](ctx, suite)
 		if err != nil {
 			return rendered{}, fmt.Errorf("experiments: %s: %w", label, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -367,7 +368,7 @@ func TestRegistryRunsEverything(t *testing.T) {
 		t.Fatalf("registry has %d experiments", len(reg.Labels()))
 	}
 	for _, label := range reg.Labels() {
-		res, err := reg[label](s)
+		res, err := reg[label](context.Background(), s)
 		if err != nil {
 			t.Fatalf("%s: %v", label, err)
 		}

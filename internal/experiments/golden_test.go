@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -70,14 +71,14 @@ func TestGoldenSweeps(t *testing.T) {
 	s := NewSuite(60000, 1)
 	cases := []struct {
 		name string
-		run  func(*Suite) (*SweepResult, error)
+		run  func(context.Context, *Suite) (*SweepResult, error)
 	}{
 		{"sweep-window", WindowSweep},
 		{"sweep-rob", ROBSweep},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			res, err := tc.run(s)
+			res, err := tc.run(context.Background(), s)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -76,7 +77,7 @@ func TestPredictorStudy(t *testing.T) {
 }
 
 func TestWindowSweep(t *testing.T) {
-	res, err := WindowSweep(smallSuite())
+	res, err := WindowSweep(context.Background(), smallSuite())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestWindowSweep(t *testing.T) {
 }
 
 func TestROBSweep(t *testing.T) {
-	res, err := ROBSweep(smallSuite())
+	res, err := ROBSweep(context.Background(), smallSuite())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -259,7 +260,7 @@ func (s *Suite) Estimate(w *Workload) (core.Estimate, error) {
 
 // Registry maps experiment names ("fig2", "table1", …) to runners that
 // produce renderable results.
-type Registry map[string]func(*Suite) (Renderable, error)
+type Registry map[string]func(context.Context, *Suite) (Renderable, error)
 
 // Renderable is a computed experiment result that can print itself as the
 // paper-style table or series.
@@ -270,37 +271,37 @@ type Renderable interface {
 // DefaultRegistry returns every experiment keyed by its paper label.
 func DefaultRegistry() Registry {
 	return Registry{
-		"fig2":          func(s *Suite) (Renderable, error) { return Figure2(s) },
-		"fig4":          func(s *Suite) (Renderable, error) { return Figure4(s) },
-		"table1":        func(s *Suite) (Renderable, error) { return Table1(s) },
-		"fig5":          func(s *Suite) (Renderable, error) { return Figure5(s) },
-		"fig6":          func(s *Suite) (Renderable, error) { return Figure6(s) },
-		"fig7":          func(s *Suite) (Renderable, error) { return Figure7(s) },
-		"fig8":          func(s *Suite) (Renderable, error) { return Figure8(s) },
-		"fig9":          func(s *Suite) (Renderable, error) { return Figure9(s) },
-		"fig10":         func(s *Suite) (Renderable, error) { return Figure10(s) },
-		"fig11":         func(s *Suite) (Renderable, error) { return Figure11(s) },
-		"fig12":         func(s *Suite) (Renderable, error) { return Figure12(s) },
-		"fig13":         func(s *Suite) (Renderable, error) { return Figure13(s) },
-		"fig14":         func(s *Suite) (Renderable, error) { return Figure14(s) },
-		"fig15":         func(s *Suite) (Renderable, error) { return Figure15(s) },
-		"fig16":         func(s *Suite) (Renderable, error) { return Figure16(s) },
-		"fig17":         func(s *Suite) (Renderable, error) { return Figure17(s) },
-		"fig18":         func(s *Suite) (Renderable, error) { return Figure18(s) },
-		"fig19":         func(s *Suite) (Renderable, error) { return Figure19(s) },
-		"ext-fu":        func(s *Suite) (Renderable, error) { return ExtensionFU(s) },
-		"ext-fetchbuf":  func(s *Suite) (Renderable, error) { return ExtensionFetchBuffer(s) },
-		"ext-tlb":       func(s *Suite) (Renderable, error) { return ExtensionTLB(s) },
-		"ext-cluster":   func(s *Suite) (Renderable, error) { return ExtensionClusters(s) },
-		"predictors":    func(s *Suite) (Renderable, error) { return PredictorStudy(s) },
-		"sweep-window":  func(s *Suite) (Renderable, error) { return WindowSweep(s) },
-		"sweep-rob":     func(s *Suite) (Renderable, error) { return ROBSweep(s) },
-		"statsim":       func(s *Suite) (Renderable, error) { return StatSimStudy(s) },
-		"refine-branch": func(s *Suite) (Renderable, error) { return BranchBurstRefinement(s) },
-		"methods":       func(s *Suite) (Renderable, error) { return MethodologyComparison(s) },
-		"seeds":         func(s *Suite) (Renderable, error) { return SeedRobustness(s) },
-		"inorder":       func(s *Suite) (Renderable, error) { return InOrderBaseline(s) },
-		"littleslaw":    func(s *Suite) (Renderable, error) { return LittlesLaw(s) },
+		"fig2":          func(_ context.Context, s *Suite) (Renderable, error) { return Figure2(s) },
+		"fig4":          func(_ context.Context, s *Suite) (Renderable, error) { return Figure4(s) },
+		"table1":        func(_ context.Context, s *Suite) (Renderable, error) { return Table1(s) },
+		"fig5":          func(_ context.Context, s *Suite) (Renderable, error) { return Figure5(s) },
+		"fig6":          func(_ context.Context, s *Suite) (Renderable, error) { return Figure6(s) },
+		"fig7":          func(_ context.Context, s *Suite) (Renderable, error) { return Figure7(s) },
+		"fig8":          func(_ context.Context, s *Suite) (Renderable, error) { return Figure8(s) },
+		"fig9":          func(_ context.Context, s *Suite) (Renderable, error) { return Figure9(s) },
+		"fig10":         func(_ context.Context, s *Suite) (Renderable, error) { return Figure10(s) },
+		"fig11":         func(_ context.Context, s *Suite) (Renderable, error) { return Figure11(s) },
+		"fig12":         func(_ context.Context, s *Suite) (Renderable, error) { return Figure12(s) },
+		"fig13":         func(_ context.Context, s *Suite) (Renderable, error) { return Figure13(s) },
+		"fig14":         func(_ context.Context, s *Suite) (Renderable, error) { return Figure14(s) },
+		"fig15":         func(_ context.Context, s *Suite) (Renderable, error) { return Figure15(s) },
+		"fig16":         func(_ context.Context, s *Suite) (Renderable, error) { return Figure16(s) },
+		"fig17":         func(_ context.Context, s *Suite) (Renderable, error) { return Figure17(s) },
+		"fig18":         func(_ context.Context, s *Suite) (Renderable, error) { return Figure18(s) },
+		"fig19":         func(_ context.Context, s *Suite) (Renderable, error) { return Figure19(s) },
+		"ext-fu":        func(_ context.Context, s *Suite) (Renderable, error) { return ExtensionFU(s) },
+		"ext-fetchbuf":  func(_ context.Context, s *Suite) (Renderable, error) { return ExtensionFetchBuffer(s) },
+		"ext-tlb":       func(_ context.Context, s *Suite) (Renderable, error) { return ExtensionTLB(s) },
+		"ext-cluster":   func(_ context.Context, s *Suite) (Renderable, error) { return ExtensionClusters(s) },
+		"predictors":    func(_ context.Context, s *Suite) (Renderable, error) { return PredictorStudy(s) },
+		"sweep-window":  func(ctx context.Context, s *Suite) (Renderable, error) { return WindowSweep(ctx, s) },
+		"sweep-rob":     func(ctx context.Context, s *Suite) (Renderable, error) { return ROBSweep(ctx, s) },
+		"statsim":       func(_ context.Context, s *Suite) (Renderable, error) { return StatSimStudy(s) },
+		"refine-branch": func(_ context.Context, s *Suite) (Renderable, error) { return BranchBurstRefinement(s) },
+		"methods":       func(_ context.Context, s *Suite) (Renderable, error) { return MethodologyComparison(s) },
+		"seeds":         func(_ context.Context, s *Suite) (Renderable, error) { return SeedRobustness(s) },
+		"inorder":       func(_ context.Context, s *Suite) (Renderable, error) { return InOrderBaseline(s) },
+		"littleslaw":    func(_ context.Context, s *Suite) (Renderable, error) { return LittlesLaw(s) },
 	}
 }
 

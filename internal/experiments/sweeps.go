@@ -319,8 +319,8 @@ func depthCell(s *Suite, w *Workload, depth int) (SweepPoint, error) {
 // curve: as the window shrinks below saturation, the power law (not the
 // width clip) sets the background IPC. Three benchmarks spanning the beta
 // range, windows 8–96.
-func WindowSweep(s *Suite) (*SweepResult, error) {
-	return Sweep(context.Background(), s, SweepSpec{
+func WindowSweep(ctx context.Context, s *Suite) (*SweepResult, error) {
+	return Sweep(ctx, s, SweepSpec{
 		Title:   "Window sweep: steady state through the IW-curve knee",
 		Param:   "window",
 		Benches: []string{"gzip", "vortex", "vpr"},
@@ -332,8 +332,8 @@ func WindowSweep(s *Suite) (*SweepResult, error) {
 // sizes: a larger ROB overlaps more long misses, so f_LDM — and with it
 // the d-miss CPI — must be re-derived per size. The d-miss-heavy
 // benchmarks are the sensitive ones.
-func ROBSweep(s *Suite) (*SweepResult, error) {
-	return Sweep(context.Background(), s, SweepSpec{
+func ROBSweep(ctx context.Context, s *Suite) (*SweepResult, error) {
+	return Sweep(ctx, s, SweepSpec{
 		Title:   "ROB sweep: equation (8) overlap across reorder-buffer sizes",
 		Param:   "rob",
 		Benches: []string{"mcf", "twolf", "gap"},

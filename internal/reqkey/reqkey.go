@@ -53,3 +53,13 @@ func Canonical(endpoint string, v any) (string, error) {
 	}
 	return endpoint + "\x00" + string(b), nil
 }
+
+// Raw keys a request body that cannot be canonicalized — one the daemon
+// will reject, or one whose typed decoding failed — by its exact bytes.
+// It is deterministic (the same malformed body always maps to the same
+// key) without the proxy having to replicate the daemon's validation,
+// and the "raw:" prefix keeps the fallback keyspace disjoint from
+// Canonical's, whose endpoint names never contain a colon.
+func Raw(endpoint string, body []byte) string {
+	return "raw:" + endpoint + "\x00" + string(body)
+}

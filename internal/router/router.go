@@ -287,8 +287,9 @@ func (rt *Router) probe(ctx context.Context, rep *replica) {
 	resp, err := rep.probeCl.DoRaw(pctx, http.MethodGet, "/readyz", nil, nil, false)
 	ready := false
 	if err == nil {
+		//folint:allow(errdrop) best-effort probe-body drain for connection reuse; only the status code matters
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
-		resp.Body.Close()
+		resp.Body.Close() //folint:allow(errdrop) read-side close after a drain; there is nothing to act on
 		ready = resp.StatusCode == http.StatusOK
 	}
 	if ready {
@@ -520,6 +521,7 @@ func (rt *Router) forward(ctx context.Context, method, path string, body []byte,
 					for i := 0; i < n; i++ {
 						r := <-results
 						if r.resp != nil {
+							//folint:allow(errdrop) closing a hedge loser's body; its response is already discarded
 							r.resp.Body.Close()
 						}
 					}
@@ -575,11 +577,11 @@ func strictDecode(b []byte, v any) error {
 	return nil
 }
 
-// rawKey routes an unkeyable body by its bytes: deterministic (the same
-// malformed request always lands on the same replica) without the proxy
-// having to replicate the daemon's validation.
+// rawKey routes an unkeyable body by its bytes; the derivation lives in
+// reqkey.Raw so the fallback keyspace is defined next to the canonical
+// one it must stay disjoint from.
 func rawKey(endpoint string, body []byte) string {
-	return "raw:" + endpoint + "\x00" + string(body)
+	return reqkey.Raw(endpoint, body)
 }
 
 // predictKey derives the /v1/predict routing key — the daemon's own

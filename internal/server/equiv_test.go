@@ -47,7 +47,7 @@ func TestPredictMatchesCLI(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var want bytes.Buffer
-			if err := cli.Fomodel(tc.cliArgs, &want); err != nil {
+			if err := cli.Fomodel(context.Background(), tc.cliArgs, &want); err != nil {
 				t.Fatalf("cli: %v", err)
 			}
 			srv := server.New(server.Config{N: equivN}, nil)

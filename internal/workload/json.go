@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"fomodel/internal/isa"
 )
@@ -119,12 +120,19 @@ func (p *Profile) UnmarshalJSON(data []byte) error {
 		ColdBurstMean:  j.ColdBurstMean,
 		ColdStride:     j.ColdStride,
 	}
-	for name, w := range j.Mix {
+	// Iterate the mix in sorted order so a profile with several unknown
+	// class names always reports the same one.
+	names := make([]string, 0, len(j.Mix))
+	for name := range j.Mix {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		c, ok := classByName(name)
 		if !ok {
 			return fmt.Errorf("workload: unknown instruction class %q in mix", name)
 		}
-		p.Mix[c] = w
+		p.Mix[c] = j.Mix[name]
 	}
 	return nil
 }

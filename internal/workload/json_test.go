@@ -68,3 +68,21 @@ func TestReadProfileGeneratesUsableTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestUnknownMixClassErrorIsDeterministic pins that a profile with
+// several unknown mix classes always reports the same (first in sorted
+// order) class name, regardless of map iteration order.
+func TestUnknownMixClassErrorIsDeterministic(t *testing.T) {
+	raw := []byte(`{"name":"x","mix":{"zzz":0.5,"aaa":0.3,"mmm":0.2}}`)
+	want := `unknown instruction class "aaa"`
+	for i := 0; i < 20; i++ {
+		var p Profile
+		err := p.UnmarshalJSON(raw)
+		if err == nil {
+			t.Fatal("unknown mix classes accepted")
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("iteration %d: error %q does not name the sorted-first class", i, err)
+		}
+	}
+}
