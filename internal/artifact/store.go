@@ -129,6 +129,7 @@ func (s *Store) Get(kind, key string) ([]byte, bool) {
 		// Invalid on disk: delete so the slot is rewritten cleanly.
 		s.corrupt.Inc()
 		s.misses.Inc()
+		//folint:allow(errdrop) best-effort delete of a corrupt artifact; the miss is already being returned
 		os.Remove(s.path(kind, key))
 		return nil, false
 	}
@@ -153,6 +154,7 @@ func (s *Store) Put(kind, key string, payload []byte) error {
 	_, werr := tmp.Write(data)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
+		//folint:allow(errdrop) cleanup of the temp file after a failed write; the write error is what the caller sees
 		os.Remove(tmp.Name())
 		if werr == nil {
 			werr = cerr
@@ -160,6 +162,7 @@ func (s *Store) Put(kind, key string, payload []byte) error {
 		return fmt.Errorf("artifact: write %s: %w", kind, werr)
 	}
 	if err := os.Rename(tmp.Name(), s.path(kind, key)); err != nil {
+		//folint:allow(errdrop) cleanup of the temp file after a failed rename; the rename error is what the caller sees
 		os.Remove(tmp.Name())
 		return fmt.Errorf("artifact: %w", err)
 	}
@@ -225,6 +228,7 @@ func (s *Store) enforceLimit() {
 		size int64
 		mod  int64
 	}
+	//folint:allow(lockheld) eviction is deliberately serialized under s.mu; Get/Put never take this lock, so no request waits on the scan
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return
@@ -248,6 +252,7 @@ func (s *Store) enforceLimit() {
 		if total <= s.maxBytes {
 			return
 		}
+		//folint:allow(lockheld) same deliberate serialization as the ReadDir above; only a concurrent eviction would wait
 		if os.Remove(f.path) == nil {
 			total -= f.size
 			s.evictions.Inc()

@@ -101,6 +101,7 @@ func Fomodeld(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	logger.Info("shutting down, draining in-flight requests", "timeout", (*drain).String())
+	//folint:allow(ctxflow) the parent ctx is already cancelled here; the drain deadline needs a fresh context
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

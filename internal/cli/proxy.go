@@ -78,6 +78,7 @@ func Fomodelproxy(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	//folint:allow(ctxflow) probes must outlive ctx: they keep health fresh while in-flight requests drain after shutdown begins
 	probeCtx, stopProbes := context.WithCancel(context.Background())
 	defer stopProbes()
 	rt.Start(probeCtx)
@@ -102,6 +103,7 @@ func Fomodelproxy(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	logger.Info("shutting down, draining in-flight requests", "timeout", (*drain).String())
+	//folint:allow(ctxflow) the parent ctx is already cancelled here; the drain deadline needs a fresh context
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -52,7 +52,7 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	json.NewEncoder(w).Encode(resp) //folint:allow(errdrop) status-response encode: the client may already be gone, and there is no fallback channel
 }
 
 // readyzResponse is the proxy's /readyz body.
@@ -78,7 +78,7 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		resp.Status = "no healthy replicas"
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
-	json.NewEncoder(w).Encode(resp)
+	json.NewEncoder(w).Encode(resp) //folint:allow(errdrop) readyz encode: the client may already be gone, and there is no fallback channel
 }
 
 // handleMetrics renders the proxy's counters in the Prometheus text

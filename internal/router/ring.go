@@ -66,7 +66,7 @@ func newRing(replicaURLs []string, vnodes int) *ring {
 // fmix64 constants) is load-bearing, not decoration.
 func hash64(s string) uint64 {
 	h := fnv.New64a()
-	h.Write([]byte(s))
+	h.Write([]byte(s)) //folint:allow(errdrop) hash.Hash.Write is documented to never return an error
 	x := h.Sum64()
 	x ^= x >> 33
 	x *= 0xff51afd7ed558ccd

@@ -326,11 +326,12 @@ func (s *Server) streamSweep(sw *statusWriter, r *http.Request, spec experiments
 		if ctx.Err() == nil {
 			// Mid-stream failure with a live client: the status line is
 			// gone, so the error travels as the final row.
+			//folint:allow(errdrop) final error row on a dying stream; a failed write means the client is gone too
 			writeRow(errorResponse{Error: err.Error()})
 		}
 		return
 	}
-	writeRow(SweepTrailer{
+	writeRow(SweepTrailer{ //folint:allow(errdrop) trailer ends the stream; a failed write means the client is gone and there is nothing left to send
 		Title:      res.Title,
 		Param:      res.Param,
 		MeanAbsErr: res.MeanAbsErr,

@@ -346,7 +346,9 @@ func (s *Server) writeError(w http.ResponseWriter, code int, format string, args
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
+	//folint:allow(errdrop) errorResponse is two plain strings; Marshal cannot fail on it
 	body, _ := json.Marshal(resp)
+	//folint:allow(errdrop) error-response write: the client may already be gone, and there is no fallback channel
 	w.Write(append(body, '\n'))
 }
 
@@ -382,6 +384,7 @@ func (s *Server) finishComputeState(w *statusWriter, status int, body []byte, ca
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)
+		//folint:allow(errdrop) response-body write: the client may already be gone, and there is no fallback channel
 		w.Write(body)
 	}
 }
@@ -498,13 +501,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		resp.Status = "warming"
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
+	//folint:allow(errdrop) readyz encode: the client may already be gone, and there is no fallback channel
 	json.NewEncoder(w).Encode(resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
-	enc.Encode(healthzResponse{
+	enc.Encode(healthzResponse{ //folint:allow(errdrop) healthz encode: the client may already be gone, and there is no fallback channel
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workloads:     len(workload.Names()),

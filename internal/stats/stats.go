@@ -327,6 +327,7 @@ func (s *Summary) FLDM() map[int]float64 {
 		return f
 	}
 	n := float64(s.DCacheLong)
+	//folint:allow(detrand) keyed writes into the result map; iteration order cannot reach the output
 	for size, groups := range s.LongMissGroups {
 		f[size] = float64(size*groups) / n
 	}
@@ -365,6 +366,7 @@ func overlapFactor(groupCounts map[int]int, events uint64) float64 {
 		return 1
 	}
 	var groups int
+	//folint:allow(detrand) integer sum over the values; addition order cannot change it
 	for _, g := range groupCounts {
 		groups += g
 	}

@@ -376,6 +376,7 @@ func (pc *PrepCache) Forget(t *trace.Trace) {
 		pc.prodOrder.Remove(e.elem)
 		delete(pc.prods, id)
 	}
+	//folint:allow(detrand) conditional delete of matching entries; which order they go in is unobservable
 	for k, e := range pc.preps {
 		if k.id == id && e.finished {
 			pc.prepOrder.Remove(e.elem)
