@@ -1,0 +1,61 @@
+package reqkey
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzCanonicalKey hardens the canonicalization contract: for any JSON
+// object, Canonical is total (no panics), deterministic, a fixpoint
+// (re-canonicalizing its own JSON body yields the same key — which is
+// what makes it insensitive to the field order and whitespace of the
+// original request spelling), and disjoint from the Raw fallback
+// keyspace.
+func FuzzCanonicalKey(f *testing.F) {
+	f.Add("predict", `{"b":1,"a":"x"}`)
+	f.Add("predict", `{"a":"x","b":1}`)
+	f.Add("sweep", `{"nested":{"z":true,"y":[1,2,3]},"s":" "}`)
+	f.Add("", `{}`)
+	f.Add("predict", `not json`)
+
+	f.Fuzz(func(t *testing.T, endpoint, doc string) {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(doc), &v); err != nil {
+			// Unkeyable spellings take the Raw fallback; it must be
+			// total and deterministic on its own.
+			if Raw(endpoint, []byte(doc)) != Raw(endpoint, []byte(doc)) {
+				t.Fatal("Raw is not deterministic")
+			}
+			return
+		}
+		k1, err := Canonical(endpoint, v)
+		if err != nil {
+			t.Fatalf("Canonical failed on decoded JSON: %v", err)
+		}
+		k2, err := Canonical(endpoint, v)
+		if err != nil || k1 != k2 {
+			t.Fatalf("Canonical not deterministic: %q vs %q (%v)", k1, k2, err)
+		}
+
+		// Fixpoint: decode the key's own JSON body and re-canonicalize.
+		// Any two spellings of the same object meet at this fixpoint, so
+		// field reordering cannot split the keyspace. encoding/json
+		// escapes control characters, so the key's last NUL is the
+		// endpoint separator even if the endpoint itself contains NULs.
+		body := k1[strings.LastIndexByte(k1, 0)+1:]
+		var v2 map[string]any
+		if err := json.Unmarshal([]byte(body), &v2); err != nil {
+			t.Fatalf("canonical body is not valid JSON: %v", err)
+		}
+		k3, err := Canonical(endpoint, v2)
+		if err != nil || k3 != k1 {
+			t.Fatalf("canonicalization is not a fixpoint: %q vs %q (%v)", k1, k3, err)
+		}
+
+		// The raw fallback keyspace must stay disjoint from Canonical's.
+		if r := Raw(endpoint, []byte(doc)); r == k1 {
+			t.Fatalf("Raw and Canonical collided on %q", r)
+		}
+	})
+}
