@@ -10,6 +10,13 @@
 //	        [-fetch-buffer N] [-fu mul=1,load=2]
 //	        [-branch-mode midpoint|isolated|measured]
 //	        [-profile file.json] [workload ...]
+//
+// With -optimize spec.json it instead searches the machine design space
+// described by the spec (bounds over width/depth/window/rob/clusters/
+// fetch_buffer, a workload mix, a budget, and a scalar or Pareto
+// objective), printing the incumbent/frontier table — or, with -json,
+// the exact /v1/optimize response body. Both modes work locally or, with
+// -remote, against a fomodeld daemon, byte-identically.
 package main
 
 import (

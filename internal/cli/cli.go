@@ -6,6 +6,7 @@
 package cli
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -13,11 +14,13 @@ import (
 	"io"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"fomodel/internal/client"
 	"fomodel/internal/core"
 	"fomodel/internal/isa"
 	"fomodel/internal/iw"
+	"fomodel/internal/optimize"
 	"fomodel/internal/server"
 	"fomodel/internal/stats"
 	"fomodel/internal/trace"
@@ -252,8 +255,13 @@ func Fomodel(ctx context.Context, args []string, out io.Writer) error {
 	profile := fs.String("profile", "", "JSON profile file instead of named workloads")
 	remote := fs.String("remote", "", "fomodeld base URL (e.g. http://127.0.0.1:8750): predict via the daemon instead of computing locally")
 	remoteTimeout := fs.Duration("remote-timeout", client.DefaultRequestTimeout, "per-request deadline for -remote calls")
+	optimizePath := fs.String("optimize", "", `JSON optimize-spec file ("-" = stdin): search the design space instead of predicting`)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *optimizePath != "" {
+		return runOptimize(ctx, *optimizePath, *jsonOut, *remote, *remoteTimeout, *n, *seed, out)
 	}
 
 	mode, err := server.ParseBranchMode(*branchMode)
@@ -362,4 +370,69 @@ func Fomodel(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 	return tw.Flush()
+}
+
+// runOptimize implements `fomodel -optimize`: a design-space search over
+// the machine parameters, driven by a JSON spec. Locally it runs the
+// search through an in-process server.Server — the exact code a fomodeld
+// daemon runs for /v1/optimize — so local -json output is byte-identical
+// to what -remote fetches from a daemon with the same trace defaults.
+func runOptimize(ctx context.Context, path string, jsonOut bool, remote string, remoteTimeout time.Duration, n int, seed uint64, out io.Writer) error {
+	var raw []byte
+	var err error
+	if path == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	var spec optimize.Spec
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return fmt.Errorf("fomodel: bad optimize spec: %w", err)
+	}
+
+	if remote != "" {
+		cl := client.New(remote)
+		cl.RequestTimeout = remoteTimeout
+		body, err := cl.OptimizeRaw(ctx, spec)
+		if err != nil {
+			return fmt.Errorf("fomodel: %w", err)
+		}
+		if jsonOut {
+			_, err := out.Write(body)
+			return err
+		}
+		var resp server.OptimizeResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return fmt.Errorf("fomodel: bad daemon response: %w", err)
+		}
+		_, err = io.WriteString(out, resp.Render)
+		return err
+	}
+
+	// The spec's own deadline applies locally too, mirroring the daemon.
+	if spec.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(spec.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	s := server.New(server.Config{N: n, Seed: seed}, nil)
+	res, err := s.Optimize(ctx, spec, nil)
+	if err != nil {
+		return fmt.Errorf("fomodel: %w", err)
+	}
+	if jsonOut {
+		body, err := server.EncodeIndented(server.OptimizeResponse{Result: res, Render: res.Render(), CSV: res.CSV()})
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(body)
+		return err
+	}
+	_, err = io.WriteString(out, res.Render())
+	return err
 }

@@ -400,3 +400,75 @@ func TestFomodelRemoteHonorsContext(t *testing.T) {
 		t.Fatalf("want context.Canceled from a cancelled remote batch, got %v", err)
 	}
 }
+
+// writeOptimizeSpec drops a small optimize spec into a temp file. The
+// explicit n pins the trace length so local (-n flag) and remote (daemon
+// default) runs normalize to the same canonical spec.
+func writeOptimizeSpec(t *testing.T, spec string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFomodelOptimize(t *testing.T) {
+	path := writeOptimizeSpec(t,
+		`{"workloads":[{"bench":"gzip"}],"bounds":{"width":{"min":1,"max":4}},"budget":6,"n":20000}`)
+	var out bytes.Buffer
+	if err := Fomodel(context.Background(), []string{"-optimize", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"minimize cpi over gzip", "bounds: width 1..4 step 1", "evaluations over a 4-point grid"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestFomodelOptimizeRemoteMatchesLocal pins the -optimize byte-equality
+// contract: the local in-process search and a fomodeld daemon produce
+// identical bytes in both table and -json modes.
+func TestFomodelOptimizeRemoteMatchesLocal(t *testing.T) {
+	srv := httptest.NewServer(server.New(server.Config{N: 20000}, nil).Handler())
+	defer srv.Close()
+	path := writeOptimizeSpec(t,
+		`{"workloads":[{"bench":"gzip"},{"bench":"mcf","weight":2}],"bounds":{"width":{"min":1,"max":8},"rob":{"min":64,"max":128,"step":64}},"budget":12,"n":20000}`)
+
+	for _, extra := range [][]string{{}, {"-json"}} {
+		args := append([]string{"-optimize", path, "-n", "20000"}, extra...)
+		var local, remote bytes.Buffer
+		if err := Fomodel(context.Background(), args, &local); err != nil {
+			t.Fatalf("%v local: %v", extra, err)
+		}
+		if err := Fomodel(context.Background(), append(args, "-remote", srv.URL), &remote); err != nil {
+			t.Fatalf("%v remote: %v", extra, err)
+		}
+		if local.String() != remote.String() {
+			t.Errorf("%v: remote output differs from local\nlocal:\n%s\nremote:\n%s",
+				extra, local.String(), remote.String())
+		}
+	}
+}
+
+func TestFomodelOptimizeErrors(t *testing.T) {
+	var out bytes.Buffer
+	// Missing spec file.
+	if err := Fomodel(context.Background(), []string{"-optimize", "/no/such/spec.json"}, &out); err == nil {
+		t.Error("missing spec file: want an error")
+	}
+	// Malformed spec (unknown field, matching the daemon's strictness).
+	bad := writeOptimizeSpec(t, `{"workloads":[{"bench":"gzip"}],"bogus":1}`)
+	if err := Fomodel(context.Background(), []string{"-optimize", bad}, &out); err == nil ||
+		!strings.Contains(err.Error(), "bad optimize spec") {
+		t.Errorf("malformed spec: err = %v, want a decode rejection", err)
+	}
+	// Invalid search space surfaces the package's sorted-param message.
+	unknown := writeOptimizeSpec(t, `{"workloads":[{"bench":"gzip"}],"bounds":{"l2":{"min":1,"max":2}},"budget":4,"n":20000}`)
+	if err := Fomodel(context.Background(), []string{"-optimize", unknown}, &out); err == nil ||
+		!strings.Contains(err.Error(), "known: clusters, depth, fetch_buffer, rob, width, window") {
+		t.Errorf("unknown param: err = %v, want the sorted parameter list", err)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"fomodel/internal/experiments"
+	"fomodel/internal/optimize"
 	"fomodel/internal/server"
 )
 
@@ -450,6 +451,85 @@ func (c *Client) SweepStream(ctx context.Context, spec experiments.SweepSpec, on
 			return &trailer, nil
 		case probe.Bench != nil:
 			var pt experiments.SweepPoint
+			if err := json.Unmarshal(line, &pt); err != nil {
+				return nil, err
+			}
+			if onPoint != nil {
+				if err := onPoint(pt); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, fmt.Errorf("client: unrecognized stream row %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("client: stream ended without a trailer row")
+}
+
+// OptimizeRaw returns the exact buffered /v1/optimize response bytes —
+// the same bytes `fomodel -optimize -json` prints for the same spec.
+func (c *Client) OptimizeRaw(ctx context.Context, spec optimize.Spec) ([]byte, error) {
+	return c.postJSON(ctx, "/v1/optimize", spec)
+}
+
+// Optimize runs a buffered design-space search.
+func (c *Client) Optimize(ctx context.Context, spec optimize.Spec) (*server.OptimizeResponse, error) {
+	body, err := c.OptimizeRaw(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	var resp server.OptimizeResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// OptimizeStream runs a streaming design-space search: onPoint is called
+// for each accepted incumbent or frontier point as the search discovers
+// it, and the search-level trailer is returned once the stream ends. An
+// onPoint error abandons the stream (closing the connection cancels the
+// server's remaining evaluations), as does ctx.
+func (c *Client) OptimizeStream(ctx context.Context, spec optimize.Spec, onPoint func(optimize.Point) error) (*server.OptimizeTrailer, error) {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/optimize", payload, true)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Eval   *int    `json:"eval"`
+			Render *string `json:"render"`
+			Error  *string `json:"error"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("client: malformed stream row %q: %v", line, err)
+		}
+		switch {
+		case probe.Error != nil:
+			return nil, &APIError{Status: http.StatusInternalServerError, Message: *probe.Error}
+		case probe.Render != nil:
+			var trailer server.OptimizeTrailer
+			if err := json.Unmarshal(line, &trailer); err != nil {
+				return nil, err
+			}
+			return &trailer, nil
+		case probe.Eval != nil:
+			var pt optimize.Point
 			if err := json.Unmarshal(line, &pt); err != nil {
 				return nil, err
 			}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"fomodel/internal/experiments"
+	"fomodel/internal/optimize"
 	"fomodel/internal/server"
 )
 
@@ -468,4 +469,69 @@ func TestStreamRetryNoDuplicateRows(t *testing.T) {
 	if len(seen) != 2 {
 		t.Errorf("saw %d distinct rows, want 2", len(seen))
 	}
+}
+
+func TestOptimizeStreamRoundTrip(t *testing.T) {
+	c := realServer(t, server.Config{})
+	ctx := context.Background()
+	spec := optimize.Spec{
+		Workloads: []optimize.WorkloadWeight{{Bench: "gzip"}},
+		Bounds:    map[string]optimize.Bound{"width": {Min: 1, Max: 4}},
+		Budget:    6,
+	}
+
+	var points []optimize.Point
+	trailer, err := c.OptimizeStream(ctx, spec, func(pt optimize.Point) error {
+		points = append(points, pt)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("OptimizeStream: %v", err)
+	}
+	buffered, err := c.Optimize(ctx, spec)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if len(points) == 0 || len(points) != len(buffered.Points) {
+		t.Fatalf("streamed %d points, buffered %d", len(points), len(buffered.Points))
+	}
+	for i := range points {
+		if fmt.Sprint(points[i]) != fmt.Sprint(buffered.Points[i]) {
+			t.Errorf("point %d differs: streamed %+v buffered %+v", i, points[i], buffered.Points[i])
+		}
+	}
+	if trailer.Render != buffered.Render || trailer.CSV != buffered.CSV ||
+		trailer.Evaluations != buffered.Evaluations || trailer.Converged != buffered.Converged {
+		t.Errorf("trailer differs from buffered search:\n%+v\nvs\n%+v", trailer, buffered)
+	}
+	if len(trailer.Frontier) != len(buffered.Frontier) {
+		t.Errorf("trailer frontier %d points, buffered %d", len(trailer.Frontier), len(buffered.Frontier))
+	}
+}
+
+// TestOptimizeStreamServerError pins the mid-protocol error paths for
+// the optimize stream, mirroring the sweep-stream coverage.
+func TestOptimizeStreamServerError(t *testing.T) {
+	t.Run("error row", func(t *testing.T) {
+		c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			fmt.Fprintln(w, `{"eval":1,"config":{"width":4,"depth":5,"window":48,"rob":128,"clusters":1,"fetch_buffer":0},"cpi":1,"objectives":[1]}`)
+			fmt.Fprintln(w, `{"error":"search exploded"}`)
+		}))
+		_, err := c.OptimizeStream(context.Background(), optimize.Spec{}, nil)
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || !strings.Contains(apiErr.Message, "search exploded") {
+			t.Fatalf("err = %v, want an APIError carrying the row's message", err)
+		}
+	})
+	t.Run("truncated stream", func(t *testing.T) {
+		c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			fmt.Fprintln(w, `{"eval":1,"config":{"width":4,"depth":5,"window":48,"rob":128,"clusters":1,"fetch_buffer":0},"cpi":1,"objectives":[1]}`)
+		}))
+		_, err := c.OptimizeStream(context.Background(), optimize.Spec{}, nil)
+		if err == nil || !strings.Contains(err.Error(), "without a trailer") {
+			t.Fatalf("err = %v, want a truncated-stream error", err)
+		}
+	})
 }

@@ -35,6 +35,24 @@ func TestSweepParams(t *testing.T) {
 	}
 }
 
+// TestSweepParamsDeterministic pins that the parameter enumeration —
+// and the Validate error message built from it — is sorted and stable
+// across repeated map iterations, so an unknown-parameter error is the
+// same bytes on every request and every process.
+func TestSweepParamsDeterministic(t *testing.T) {
+	const wantList = "depth, rob, width, window"
+	wantErr := `experiments: unknown sweep parameter "bogus" (known: ` + wantList + `)`
+	for i := 0; i < 20; i++ {
+		if got := strings.Join(SweepParams(), ", "); got != wantList {
+			t.Fatalf("iteration %d: SweepParams = %q, want %q", i, got, wantList)
+		}
+		err := SweepSpec{Param: "bogus", Benches: []string{"gzip"}, Values: []int{2}}.Validate()
+		if err == nil || err.Error() != wantErr {
+			t.Fatalf("iteration %d: Validate error = %v, want %q", i, err, wantErr)
+		}
+	}
+}
+
 // TestSweepCanceled is the serving daemon's client-disconnect guarantee
 // at the engine level: a canceled context stops the sweep before any grid
 // cell computes.

@@ -42,6 +42,7 @@ var PurePackages = map[string]bool{
 	"fomodel/internal/trace":    true,
 	"fomodel/internal/workload": true,
 	"fomodel/internal/fit":      true,
+	"fomodel/internal/optimize": true,
 }
 
 // Analyzer is the detrand pass.

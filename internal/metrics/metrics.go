@@ -54,6 +54,16 @@ func (g *Gauge) Add(n int64) {
 	g.v.Add(n)
 }
 
+// Set replaces the gauge value outright, for gauges that publish the
+// result of a completed action (e.g. the last optimize search's frontier
+// size) rather than a running delta.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
 // Load returns the current value; zero on a nil gauge.
 func (g *Gauge) Load() int64 {
 	if g == nil {

@@ -50,6 +50,15 @@ func TestGauge(t *testing.T) {
 	if got := g.Load(); got != 3 {
 		t.Fatalf("gauge = %d, want 3", got)
 	}
+	g.Set(7)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge after Set = %d, want 7", got)
+	}
+	var nilG *Gauge
+	nilG.Set(1)
+	if got := nilG.Load(); got != 0 {
+		t.Fatalf("nil gauge after Set = %d, want 0", got)
+	}
 }
 
 func TestHistogram(t *testing.T) {

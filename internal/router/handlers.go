@@ -41,6 +41,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/predict", rt.instrument("/v1/predict", rt.handlePredict))
 	mux.HandleFunc("POST /v1/batch", rt.instrument("/v1/batch", rt.handleBatch))
 	mux.HandleFunc("POST /v1/sweep", rt.instrument("/v1/sweep", rt.handleSweep))
+	mux.HandleFunc("POST /v1/optimize", rt.instrument("/v1/optimize", rt.handleOptimize))
 	mux.HandleFunc("GET /v1/workloads", rt.instrument("/v1/workloads", rt.handleWorkloads))
 	mux.HandleFunc("GET /healthz", rt.instrument("/healthz", rt.handleHealthz))
 	mux.HandleFunc("GET /readyz", rt.instrument("/readyz", rt.handleReadyz))
@@ -262,6 +263,15 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	stream := strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
 	rt.proxyOne(w, r, http.MethodPost, "/v1/sweep", body, stream, rt.sweepKey(body))
+}
+
+func (rt *Router) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r, maxBodyBytes)
+	if !ok {
+		return
+	}
+	stream := strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+	rt.proxyOne(w, r, http.MethodPost, "/v1/optimize", body, stream, rt.optimizeKey(body))
 }
 
 func (rt *Router) handleWorkloads(w http.ResponseWriter, r *http.Request) {

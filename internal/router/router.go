@@ -30,6 +30,7 @@ import (
 	"fomodel/internal/client"
 	"fomodel/internal/experiments"
 	"fomodel/internal/metrics"
+	"fomodel/internal/optimize"
 	"fomodel/internal/reqkey"
 	"fomodel/internal/server"
 )
@@ -608,6 +609,22 @@ func (rt *Router) sweepKey(body []byte) string {
 	key, err := server.SweepCacheKey(spec)
 	if err != nil {
 		return rawKey("sweep", body)
+	}
+	return key
+}
+
+// optimizeKey derives the /v1/optimize routing key, shared with the
+// daemon's buffered-optimize cache key so repeated searches land on the
+// replica already holding the result (and the predict-cache entries its
+// evaluations warmed).
+func (rt *Router) optimizeKey(body []byte) string {
+	var spec optimize.Spec
+	if err := strictDecode(body, &spec); err != nil {
+		return rawKey("optimize", body)
+	}
+	key, err := server.OptimizeCacheKey(spec, rt.cfg.Defaults)
+	if err != nil {
+		return rawKey("optimize", body)
 	}
 	return key
 }

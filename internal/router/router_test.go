@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"fomodel/internal/experiments"
+	"fomodel/internal/optimize"
 	"fomodel/internal/reqkey"
 	"fomodel/internal/server"
 	"fomodel/internal/workload"
@@ -788,5 +789,86 @@ func TestSweepSpecKeySharing(t *testing.T) {
 	b, _ := json.Marshal(spec)
 	if got := rt.sweepKey(b); got != fromServer {
 		t.Fatalf("router sweep key %q != server cache key %q", got, fromServer)
+	}
+}
+
+// TestOptimizeProxyByteEquality extends the byte-equality contract to
+// /v1/optimize: buffered and streamed search responses relay through the
+// proxy byte-identical to a lone daemon's, and repeats are cache hits on
+// the key's home replica.
+func TestOptimizeProxyByteEquality(t *testing.T) {
+	_, ref := newDaemon(t)
+	_, repA := newDaemon(t)
+	_, repB := newDaemon(t)
+	_, proxy := newProxy(t, Config{
+		Replicas:     []string{repA.URL, repB.URL},
+		DisableHedge: true,
+	})
+
+	optBody := `{"workloads":[{"bench":"gzip"}],"bounds":{"width":{"min":1,"max":4}},"budget":6}`
+	for pass, wantCache := range []string{"miss", "hit"} {
+		want := readAll(t, post(t, ref.URL, "/v1/optimize", optBody, nil))
+		resp := post(t, proxy.URL, "/v1/optimize", optBody, nil)
+		got := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pass %d: proxy optimize status %d: %s", pass, resp.StatusCode, got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("pass %d: proxy optimize body differs from daemon's:\n got %q\nwant %q", pass, got, want)
+		}
+		if c := resp.Header.Get("X-Cache"); c != wantCache {
+			t.Fatalf("pass %d: X-Cache = %q, want %q", pass, c, wantCache)
+		}
+	}
+
+	// Streamed search: full NDJSON passthrough, row for row.
+	ndjson := http.Header{"Accept": []string{"application/x-ndjson"}}
+	wantStream := readAll(t, post(t, ref.URL, "/v1/optimize", optBody, ndjson))
+	resp := post(t, proxy.URL, "/v1/optimize", optBody, ndjson)
+	gotStream := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxy optimize stream status %d: %s", resp.StatusCode, gotStream)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("proxy optimize stream Content-Type = %q", ct)
+	}
+	if !bytes.Equal(gotStream, wantStream) {
+		t.Fatalf("proxy optimize NDJSON stream differs from daemon's:\n got %q\nwant %q", gotStream, wantStream)
+	}
+
+	// An invalid spec still reaches a daemon (routed by raw bytes), whose
+	// error response is authoritative.
+	resp = post(t, proxy.URL, "/v1/optimize", `{"workloads":[]}`, nil)
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec: proxy status %d, want 400: %s", resp.StatusCode, body)
+	}
+}
+
+// TestOptimizeSpecKeySharing guards the shared-key contract for optimize
+// specs: the router derives the daemon's own cache key, spelling
+// differences included.
+func TestOptimizeSpecKeySharing(t *testing.T) {
+	spec := optimize.Spec{
+		Workloads: []optimize.WorkloadWeight{{Bench: "gzip"}},
+		Bounds:    map[string]optimize.Bound{"width": {Min: 1, Max: 4}},
+		Budget:    6,
+	}
+	fromServer, err := server.OptimizeCacheKey(spec, testDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(Config{Replicas: []string{"http://x:1"}, Defaults: testDefaults()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The implicit spelling and one with defaults written out share the key.
+	for _, body := range []string{
+		`{"workloads":[{"bench":"gzip"}],"bounds":{"width":{"min":1,"max":4}},"budget":6}`,
+		`{"workloads":[{"bench":"gzip","weight":1}],"bounds":{"width":{"min":1,"max":4,"step":1}},"objective":"cpi","budget":6,"seed":1,"grid":3,"n":2000,"trace_seed":1}`,
+	} {
+		if got := rt.optimizeKey([]byte(body)); got != fromServer {
+			t.Fatalf("router optimize key %q != server cache key %q for body %s", got, fromServer, body)
+		}
 	}
 }

@@ -115,6 +115,14 @@ type Server struct {
 	traceEvictions metrics.Counter
 	analysis       *analysisCache
 
+	// Optimize-search instrumentation: candidate evaluations run (and
+	// the share served by the response cache), refinement rounds, and
+	// the most recent completed search's frontier size.
+	optEvals    metrics.Counter
+	optEvalHits metrics.Counter
+	optRounds   metrics.Counter
+	optFrontier metrics.Gauge
+
 	// gate, when non-nil, blocks every admitted /v1 request until the
 	// channel yields; tests use it to hold requests in flight
 	// deterministically.
@@ -195,6 +203,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/predict", s.instrument("/v1/predict", true, s.handlePredict))
 	mux.HandleFunc("POST /v1/batch", s.instrument("/v1/batch", true, s.handleBatch))
 	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", true, s.handleSweep))
+	mux.HandleFunc("POST /v1/optimize", s.instrument("/v1/optimize", true, s.handleOptimize))
 	mux.HandleFunc("GET /v1/workloads", s.instrument("/v1/workloads", true, s.handleWorkloads))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", false, s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.instrument("/readyz", false, s.handleReadyz))
@@ -595,6 +604,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP fomodeld_analysis_cache_misses_total Predict analyses computed or loaded from the store.\n")
 	fmt.Fprintf(w, "# TYPE fomodeld_analysis_cache_misses_total counter\n")
 	fmt.Fprintf(w, "fomodeld_analysis_cache_misses_total %d\n", anMisses)
+
+	fmt.Fprintf(w, "# HELP fomodeld_optimize_evaluations_total Model evaluations (candidate x workload) run by design-space searches.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_optimize_evaluations_total counter\n")
+	fmt.Fprintf(w, "fomodeld_optimize_evaluations_total %d\n", s.optEvals.Load())
+	fmt.Fprintf(w, "# HELP fomodeld_optimize_evaluation_cache_hits_total Optimize evaluations answered by the response cache.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_optimize_evaluation_cache_hits_total counter\n")
+	fmt.Fprintf(w, "fomodeld_optimize_evaluation_cache_hits_total %d\n", s.optEvalHits.Load())
+	fmt.Fprintf(w, "# HELP fomodeld_optimize_refinement_rounds_total Refinement rounds run by design-space searches.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_optimize_refinement_rounds_total counter\n")
+	fmt.Fprintf(w, "fomodeld_optimize_refinement_rounds_total %d\n", s.optRounds.Load())
+	fmt.Fprintf(w, "# HELP fomodeld_optimize_frontier_size Frontier size of the most recent completed search.\n")
+	fmt.Fprintf(w, "# TYPE fomodeld_optimize_frontier_size gauge\n")
+	fmt.Fprintf(w, "fomodeld_optimize_frontier_size %d\n", s.optFrontier.Load())
 
 	if st := s.cfg.Store; st != nil {
 		hits, misses, corrupt, writes, evictions := st.Stats()

@@ -4,6 +4,7 @@
 # Usage: scripts/bench.sh [output.json]   # library/experiment benchmarks
 #        scripts/bench.sh server [output] # fomodeld load benchmark
 #        scripts/bench.sh proxy [output]  # fomodelproxy multi-process benchmark
+#        scripts/bench.sh optimize [out]  # /v1/optimize search benchmark
 #
 # Library mode runs two stages: a -benchtime=1x smoke pass over every
 # benchmark in the repo (so a broken benchmark fails fast without a long
@@ -18,6 +19,15 @@
 # server per request on a warm artifact store), plus a 12-cell /v1/sweep
 # at 1 worker and at GOMAXPROCS workers — and records req/sec and the
 # cold/hot ratios in BENCH_PR6.json.
+#
+# Optimize mode is the PR-9 benchmark: a real fomodeld evaluates the
+# convex width × window search the optimize tests pin, and the report
+# records how many model evaluations the guided search spent against the
+# naive full-grid count, plus the evaluation-level predict-cache hit
+# rate when a second search covers the same lattice. It then re-measures
+# the sweep parallel speedup and the proxied fleet throughput at the
+# host's GOMAXPROCS, so the PR-9 numbers carry their own cpus/gomaxprocs
+# provenance instead of pointing at older bench files.
 #
 # Proxy mode is the PR-7 benchmark: real OS processes (3 fomodeld
 # replicas, one fomodelproxy, the fomodelload generator) on loopback.
@@ -34,6 +44,137 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 gomaxprocs=${GOMAXPROCS:-$(nproc)}
+
+if [ "${1:-}" = "optimize" ]; then
+    out=${2:-BENCH_PR9.json}
+    n=${N:-20000}
+    dur=${DUR:-3s}
+    conc=${CONC:-6}
+
+    bin=$(mktemp -d)
+    pids=()
+    cleanup() {
+        for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+        wait 2>/dev/null || true
+        rm -rf "$bin"
+    }
+    trap cleanup EXIT
+
+    echo "== build" >&2
+    go build -o "$bin/fomodeld" ./cmd/fomodeld
+    go build -o "$bin/fomodelproxy" ./cmd/fomodelproxy
+    go build -o "$bin/fomodelload" ./cmd/fomodelload
+
+    wait_ready() {
+        for _ in $(seq 1 200); do
+            if curl -fsS "$1/readyz" >/dev/null 2>&1; then return 0; fi
+            sleep 0.1
+        done
+        echo "endpoint never became ready: $1" >&2
+        return 1
+    }
+    jget() { sed -n "s/^  \"$2\": \([0-9.]*\),*$/\1/p" "$1"; }
+    mget() { curl -fsS "$2/metrics" | sed -n "s/^$1 //p"; }
+
+    echo "== boot daemon" >&2
+    "$bin/fomodeld" -addr 127.0.0.1:8796 -n "$n" -warm=false >"$bin/daemon.log" 2>&1 &
+    pids+=($!)
+    daemon=http://127.0.0.1:8796
+    wait_ready "$daemon"
+
+    # The convex search space the acceptance test pins: 16 widths x 16
+    # window sizes (rob fixed at 256 so every lattice point is valid),
+    # naive grid = 256 candidates. A full budget lets the search stop on
+    # its own convergence, so evaluations/grid_size is the honest
+    # guided-vs-naive ratio.
+    spec='{"workloads":[{"bench":"gzip"}],"bounds":{"width":{"min":1,"max":16},"window":{"min":8,"max":128,"step":8},"rob":{"min":256,"max":256}},"budget":256,"n":'$n'}'
+
+    echo "== phase 1: guided search vs naive grid" >&2
+    t0=$(date +%s.%N)
+    curl -fsS -X POST -H 'Content-Type: application/json' -d "$spec" \
+        "$daemon/v1/optimize" >"$bin/opt1.json"
+    t1=$(date +%s.%N)
+    evals=$(jget "$bin/opt1.json" evaluations)
+    grid=$(jget "$bin/opt1.json" grid_size)
+    rounds=$(jget "$bin/opt1.json" rounds)
+    e1=$(mget fomodeld_optimize_evaluations_total "$daemon")
+    h1=$(mget fomodeld_optimize_evaluation_cache_hits_total "$daemon")
+
+    echo "== phase 2: second search over the same lattice (cache-hot)" >&2
+    # A different budget spells a different response-cache key, so the
+    # search itself re-runs — but every candidate x workload evaluation
+    # should land in the predict response cache the first search warmed.
+    spec2=${spec/\"budget\":256/\"budget\":255}
+    t2=$(date +%s.%N)
+    curl -fsS -X POST -H 'Content-Type: application/json' -d "$spec2" \
+        "$daemon/v1/optimize" >"$bin/opt2.json"
+    t3=$(date +%s.%N)
+    e2=$(mget fomodeld_optimize_evaluations_total "$daemon")
+    h2=$(mget fomodeld_optimize_evaluation_cache_hits_total "$daemon")
+    stop_bench_daemon() {
+        for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+        wait 2>/dev/null || true
+        pids=()
+    }
+    stop_bench_daemon
+
+    echo "== phase 3: sweep parallelism at GOMAXPROCS=$gomaxprocs" >&2
+    go test -run '^$' -bench 'BenchmarkSweepWorkers1$|BenchmarkSweepWorkersN$' \
+        -benchtime=20x ./internal/server/ >"$bin/sweep.txt"
+    sweep1=$(awk '/BenchmarkSweepWorkers1/ {print $3}' "$bin/sweep.txt")
+    sweepN=$(awk '/BenchmarkSweepWorkersN/ {print $3}' "$bin/sweep.txt")
+
+    echo "== phase 4: proxied fleet throughput at GOMAXPROCS=$gomaxprocs" >&2
+    for port in 8797 8798; do
+        "$bin/fomodeld" -addr "127.0.0.1:$port" -n "$n" -max-inflight 64 \
+            -warm=false >"$bin/replica-$port.log" 2>&1 &
+        pids+=($!)
+    done
+    for port in 8797 8798; do wait_ready "http://127.0.0.1:$port"; done
+    "$bin/fomodelproxy" -addr 127.0.0.1:8790 \
+        -replicas http://127.0.0.1:8797,http://127.0.0.1:8798 \
+        -route hash -hedge=false >"$bin/proxy.log" 2>&1 &
+    pids+=($!)
+    wait_ready http://127.0.0.1:8790
+    "$bin/fomodelload" -url http://127.0.0.1:8790 -duration "$dur" \
+        -concurrency "$conc" -benches 8 -robs 128,160,192 >"$bin/load.json"
+    stop_bench_daemon
+    proxy_rps=$(jget "$bin/load.json" req_per_sec)
+    proxy_hit=$(jget "$bin/load.json" hit_rate)
+
+    awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v procs="$(nproc)" \
+        -v gmp="$gomaxprocs" -v n="$n" \
+        -v evals="$evals" -v grid="$grid" -v rounds="$rounds" \
+        -v cold="$(echo "$t1 $t0" | awk '{print $1-$2}')" \
+        -v warm="$(echo "$t3 $t2" | awk '{print $1-$2}')" \
+        -v e1="$e1" -v h1="$h1" -v e2="$e2" -v h2="$h2" \
+        -v s1="$sweep1" -v sN="$sweepN" \
+        -v prps="$proxy_rps" -v phit="$proxy_hit" \
+        'BEGIN {
+        printf "{\n"
+        printf "  \"generated\": \"%s\",\n", date
+        printf "  \"cpus\": %d,\n  \"gomaxprocs\": %d,\n  \"n\": %d,\n", procs, gmp, n
+        printf "  \"optimize\": {\n"
+        printf "    \"search\": \"convex width 1..16 x window 8..128/8, rob 256\",\n"
+        printf "    \"naive_grid_evaluations\": %d,\n", grid
+        printf "    \"guided_evaluations\": %d,\n", evals
+        printf "    \"evaluation_fraction\": %.3f,\n", evals / grid
+        printf "    \"refinement_rounds\": %d,\n", rounds
+        printf "    \"cold_search_seconds\": %.2f,\n", cold
+        printf "    \"cache_hot_search_seconds\": %.2f,\n", warm
+        printf "    \"first_run_eval_cache_hit_rate\": %.3f,\n", (e1 > 0 ? h1 / e1 : 0)
+        printf "    \"repeat_run_eval_cache_hit_rate\": %.3f\n", ((e2 - e1) > 0 ? (h2 - h1) / (e2 - e1) : 0)
+        printf "  },\n"
+        printf "  \"sweep_12_cells\": {\n"
+        printf "    \"workers_1\": {\"ns_per_req\": %d},\n", s1
+        printf "    \"workers_n\": {\"ns_per_req\": %d},\n", sN
+        printf "    \"parallel_speedup\": %.2f\n  },\n", s1 / sN
+        printf "  \"proxy_hash_2_replicas\": {\"req_per_sec\": %.0f, \"hit_rate\": %.3f}\n", prps, phit
+        printf "}\n"
+    }' > "$out"
+    echo "wrote $out" >&2
+    exit 0
+fi
 
 if [ "${1:-}" = "proxy" ]; then
     out=${2:-BENCH_PR7.json}
