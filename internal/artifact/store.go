@@ -40,6 +40,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"fomodel/internal/metrics"
 )
@@ -134,6 +135,13 @@ func (s *Store) Get(kind, key string) ([]byte, bool) {
 		return nil, false
 	}
 	s.hits.Inc()
+	// Eviction is documented as mtime-ordered, which is only true if a
+	// verified hit refreshes the file's mtime; without this a hot
+	// artifact written early is evicted before a cold one written later
+	// (insertion-order FIFO).
+	now := time.Now()
+	//folint:allow(errdrop) best-effort recency bump; a failed Chtimes only weakens eviction ordering
+	os.Chtimes(s.path(kind, key), now, now)
 	return payload, true
 }
 

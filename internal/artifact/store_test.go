@@ -152,6 +152,50 @@ func TestSizeBoundEvictsOldest(t *testing.T) {
 	}
 }
 
+// TestGetRefreshesEvictionRecency is the regression test for eviction
+// being insertion-order FIFO instead of the documented mtime order: a
+// hot artifact written early must outlive a cold one written later.
+func TestGetRefreshesEvictionRecency(t *testing.T) {
+	s := open(t, 600)
+	s.Put("trace", "hot", make([]byte, 100))
+	hot := artifactFile(t, s)
+	s.Put("trace", "cold", make([]byte, 300))
+	// Backdate both entries, "hot" strictly oldest, so without the hit's
+	// mtime bump it is unambiguously the eviction victim — and the bump
+	// itself is visible even on coarse-mtime filesystems.
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(hot, past.Add(-time.Minute), past.Add(-time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	matches, _ := filepath.Glob(filepath.Join(s.Dir(), "*.foa"))
+	if len(matches) != 2 {
+		t.Fatalf("want two artifact files, have %v", matches)
+	}
+	for _, m := range matches {
+		if m == hot {
+			continue
+		}
+		if err := os.Chtimes(m, past, past); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The verified hit must refresh "hot" to now; the next Put overflows
+	// the bound by one file's worth, so exactly the stalest entry goes.
+	if _, ok := s.Get("trace", "hot"); !ok {
+		t.Fatal("hot artifact missing before eviction")
+	}
+	s.Put("trace", "filler", make([]byte, 100))
+	if _, ok := s.Get("trace", "hot"); !ok {
+		t.Error("recently-read artifact evicted before an untouched newer one")
+	}
+	if _, ok := s.Get("trace", "cold"); ok {
+		t.Error("untouched artifact survived eviction ahead of a recently-read one")
+	}
+	if _, ok := s.Get("trace", "filler"); !ok {
+		t.Error("just-written artifact evicted")
+	}
+}
+
 func TestNilStoreIsDisabled(t *testing.T) {
 	var s *Store
 	if err := s.Put("trace", "k", []byte("x")); err != nil {

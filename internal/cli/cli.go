@@ -256,7 +256,21 @@ func Fomodel(ctx context.Context, args []string, out io.Writer) error {
 	remote := fs.String("remote", "", "fomodeld base URL (e.g. http://127.0.0.1:8750): predict via the daemon instead of computing locally")
 	remoteTimeout := fs.Duration("remote-timeout", client.DefaultRequestTimeout, "per-request deadline for -remote calls")
 	optimizePath := fs.String("optimize", "", `JSON optimize-spec file ("-" = stdin): search the design space instead of predicting`)
+	dumpProfile := fs.String("dump-profile", "", "print the named built-in workload's profile JSON (editable, registerable via POST /v1/workloads/{name}) and exit")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *dumpProfile != "" {
+		prof, err := workload.ByName(*dumpProfile)
+		if err != nil {
+			return fmt.Errorf("fomodel: %w", err)
+		}
+		body, err := server.EncodeIndented(prof)
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(body)
 		return err
 	}
 
@@ -301,7 +315,7 @@ func Fomodel(ctx context.Context, args []string, out io.Writer) error {
 
 	if *remote != "" {
 		if *profile != "" {
-			return fmt.Errorf("fomodel: -remote serves built-in workloads only, not -profile files")
+			return fmt.Errorf("fomodel: -remote does not take -profile files; register the profile with POST /v1/workloads/{name} and pass the registered name instead")
 		}
 		names := fs.Args()
 		if len(names) == 0 {

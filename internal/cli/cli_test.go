@@ -142,6 +142,27 @@ func TestFomodel(t *testing.T) {
 	}
 }
 
+func TestFomodelDumpProfile(t *testing.T) {
+	var out bytes.Buffer
+	if err := Fomodel(context.Background(), []string{"-dump-profile", "gzip"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var got workload.Profile
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatalf("dump is not a profile: %v\n%s", err, out.String())
+	}
+	want, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("dumped profile does not round-trip:\n got %+v\nwant %+v", got, want)
+	}
+	if err := Fomodel(context.Background(), []string{"-dump-profile", "nope"}, &out); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
 func TestFomodelSim(t *testing.T) {
 	var out bytes.Buffer
 	if err := Fomodel(context.Background(), []string{"-n", "20000", "-sim", "gzip"}, &out); err != nil {

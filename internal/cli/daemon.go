@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"fomodel/internal/artifact"
+	"fomodel/internal/registry"
 	"fomodel/internal/server"
 )
 
@@ -36,6 +37,8 @@ func Fomodeld(ctx context.Context, args []string, out io.Writer) error {
 	storeDir := fs.String("store", "", "workload-artifact store directory (empty = no persistence)")
 	storeMax := fs.Int64("store-max-bytes", 1<<30, "artifact store size bound in bytes (0 = unbounded)")
 	warm := fs.Bool("warm", true, "precompute the default workload bundles at boot (background)")
+	wlQuota := fs.Int("workload-quota", 0, "registered workloads allowed per tenant (0 = 16)")
+	wlQuotaBytes := fs.Int64("workload-quota-bytes", 0, "registered-profile bytes allowed per tenant (0 = 1 MiB)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +56,16 @@ func Fomodeld(ctx context.Context, args []string, out io.Writer) error {
 		}
 		logger.Info("artifact store open", "dir", store.Dir(), "bytes", store.SizeBytes())
 	}
+	reg := registry.New(registry.Config{
+		MaxPerTenant:      *wlQuota,
+		MaxBytesPerTenant: *wlQuotaBytes,
+		Store:             store,
+	})
+	if n, err := reg.Load(); err != nil {
+		logger.Warn("workload registry load failed", "err", err.Error())
+	} else if n > 0 {
+		logger.Info("workload registry loaded", "workloads", n)
+	}
 	srv := server.New(server.Config{
 		N:                    *n,
 		Seed:                 *seed,
@@ -63,6 +76,7 @@ func Fomodeld(ctx context.Context, args []string, out io.Writer) error {
 		AnalysisCacheEntries: *analysisEntries,
 		RequestTimeout:       *reqTimeout,
 		Store:                store,
+		Registry:             reg,
 	}, logger)
 	if *warm {
 		// Warm in the background so the listener is up immediately; the

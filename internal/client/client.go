@@ -16,12 +16,14 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
 	"fomodel/internal/experiments"
 	"fomodel/internal/optimize"
 	"fomodel/internal/server"
+	"fomodel/internal/workload"
 )
 
 // Default knobs; see the corresponding Client fields.
@@ -47,6 +49,9 @@ type Client struct {
 	// the first attempt; 0 means DefaultMaxRetries, negative disables
 	// retries.
 	MaxRetries int
+	// Tenant, when non-empty, is sent as the X-Tenant header on every
+	// request; workload registrations are owned per tenant.
+	Tenant string
 	// BaseBackoff and MaxBackoff bound the exponential retry schedule:
 	// the k-th retry waits a jittered delay drawn from
 	// [backoff/2, backoff] where backoff doubles from BaseBackoff up to
@@ -177,14 +182,40 @@ func retryable(status int) bool {
 	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
 }
 
-// retryAfter parses the response's Retry-After header as delay seconds;
-// 0 means absent or unparseable.
-func retryAfter(resp *http.Response) time.Duration {
-	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
-	if err != nil || secs < 0 {
+// retryAfter parses the response's Retry-After header as a delay;
+// 0 means absent or unparseable. RFC 7231 allows both forms: delta
+// seconds and an HTTP-date. The date form is interpreted relative to
+// the response's own Date header (the server's clock, which produced
+// both) falling back to local time, and — unlike an exact delta, which
+// is honored as sent — is clamped to MaxBackoff, since clock skew can
+// inflate it arbitrarily.
+func (c *Client) retryAfter(resp *http.Response) time.Duration {
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	at, err := http.ParseTime(h)
+	if err != nil {
+		return 0
+	}
+	now := time.Now()
+	if d, err := http.ParseTime(resp.Header.Get("Date")); err == nil {
+		now = d
+	}
+	delay := at.Sub(now)
+	if delay < 0 {
+		return 0
+	}
+	if max := c.maxBackoff(); delay > max {
+		delay = max
+	}
+	return delay
 }
 
 // apiError drains the response and converts its structured error body
@@ -288,7 +319,7 @@ func (c *Client) doRetry(ctx context.Context, method, path string, body []byte, 
 
 		// Retryable status with attempts remaining: honor Retry-After,
 		// release this attempt's resources, back off, go again.
-		delay := retryAfter(resp)
+		delay := c.retryAfter(resp)
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
 		resp.Body.Close()
 		if cancel != nil {
@@ -328,6 +359,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	if stream {
 		req.Header.Set("Accept", "application/x-ndjson")
+	}
+	if c.Tenant != "" {
+		req.Header.Set("X-Tenant", c.Tenant)
 	}
 	for k, vs := range hdr {
 		for _, v := range vs {
@@ -561,4 +595,48 @@ func (c *Client) Workloads(ctx context.Context) (*server.WorkloadsResponse, erro
 		return nil, err
 	}
 	return &w, nil
+}
+
+// workloadPath builds the per-name workload route.
+func workloadPath(name string) string {
+	return "/v1/workloads/" + url.PathEscape(name)
+}
+
+// RegisterWorkload registers (or replaces) a custom workload profile
+// under name; the registered name is then accepted anywhere a built-in
+// benchmark name is. Ownership follows the client's Tenant.
+func (c *Client) RegisterWorkload(ctx context.Context, name string, prof workload.Profile) (*server.WorkloadRegistration, error) {
+	body, err := c.postJSON(ctx, workloadPath(name), prof)
+	if err != nil {
+		return nil, err
+	}
+	var reg server.WorkloadRegistration
+	if err := json.Unmarshal(body, &reg); err != nil {
+		return nil, err
+	}
+	return &reg, nil
+}
+
+// Workload reads one registered workload back.
+func (c *Client) Workload(ctx context.Context, name string) (*server.WorkloadRegistration, error) {
+	resp, err := c.do(ctx, http.MethodGet, workloadPath(name), nil, false)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var reg server.WorkloadRegistration
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		return nil, err
+	}
+	return &reg, nil
+}
+
+// DeleteWorkload removes one of the tenant's registered workloads.
+func (c *Client) DeleteWorkload(ctx context.Context, name string) error {
+	resp, err := c.do(ctx, http.MethodDelete, workloadPath(name), nil, false)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
 }

@@ -43,6 +43,79 @@ func realServer(t *testing.T, cfg server.Config) *Client {
 	return New(srv.URL)
 }
 
+// TestRetryAfterParsing is the regression test for the HTTP-date form of
+// Retry-After being treated as garbage: RFC 7231 allows both delta
+// seconds and an HTTP-date, and the date form must be interpreted
+// against the server's own Date header, not dropped.
+func TestRetryAfterParsing(t *testing.T) {
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	stamp := func(t time.Time) string { return t.UTC().Format(http.TimeFormat) }
+	cases := []struct {
+		name       string
+		retryAfter string
+		date       string
+		want       time.Duration
+	}{
+		{"absent", "", "", 0},
+		{"delta seconds", "3", "", 3 * time.Second},
+		{"delta zero", "0", "", 0},
+		{"delta negative", "-2", "", 0},
+		// An exact delta is honored as sent, even beyond MaxBackoff.
+		{"delta beyond max backoff", "30", "", 30 * time.Second},
+		{"http date", stamp(base.Add(4 * time.Second)), stamp(base), 4 * time.Second},
+		{"http date in the past", stamp(base.Add(-time.Minute)), stamp(base), 0},
+		// The date form is clamped to MaxBackoff: clock skew can inflate
+		// it arbitrarily, unlike a delta.
+		{"http date clamped", stamp(base.Add(time.Hour)), stamp(base), DefaultMaxBackoff},
+		// No Date header: measured against local time, so a far-future
+		// date still lands on the clamp.
+		{"http date without date header", stamp(time.Now().Add(time.Hour)), "", DefaultMaxBackoff},
+		{"garbage", "soon", "", 0},
+	}
+	c := New("http://unused")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := &http.Response{Header: http.Header{}}
+			if tc.retryAfter != "" {
+				resp.Header.Set("Retry-After", tc.retryAfter)
+			}
+			if tc.date != "" {
+				resp.Header.Set("Date", tc.date)
+			}
+			if got := c.retryAfter(resp); got != tc.want {
+				t.Errorf("retryAfter(%q, Date %q) = %v, want %v", tc.retryAfter, tc.date, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRetryHonorsRetryAfterDate drives the date form through the full
+// retry loop: the delay slept between attempts must be the date's offset
+// from the response's Date header.
+func TestRetryHonorsRetryAfterDate(t *testing.T) {
+	var calls atomic.Int32
+	c, delays := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			now := time.Now()
+			w.Header().Set("Date", now.UTC().Format(http.TimeFormat))
+			w.Header().Set("Retry-After", now.Add(2*time.Second).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	c.jitter = func(d time.Duration) time.Duration {
+		t.Error("jitter used despite Retry-After being present")
+		return 0
+	}
+	if _, err := c.do(context.Background(), http.MethodGet, "/v1/workloads", nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if len(*delays) != 1 || (*delays)[0] != 2*time.Second {
+		t.Errorf("delays = %v, want [2s]", *delays)
+	}
+}
+
 // TestRetryHonorsRetryAfter pins the core retry contract: the server's
 // Retry-After is used verbatim as the delay — no jitter, no backoff
 // growth — across both retryable statuses.

@@ -153,3 +153,31 @@ func LoadOrGenerateTrace(store *artifact.Store, name string, n int, seed uint64)
 	}
 	return t, nil
 }
+
+// LoadOrGenerateProfileTrace is LoadOrGenerateTrace for an explicit
+// (registered) profile. The content key is the profile's name-free
+// CustomContentID, so two names registered with identical numeric
+// content share one stored trace; the trace's Name is restamped to the
+// profile's on a hit, because the stored copy may have been produced
+// under a different name for the same content.
+func LoadOrGenerateProfileTrace(store *artifact.Store, prof workload.Profile, n int, seed uint64) (*trace.Trace, error) {
+	id := workload.CustomContentID(prof.ContentHash(), n, seed)
+	if b, ok := store.Get("trace", id); ok {
+		if t, err := trace.Read(bytes.NewReader(b)); err == nil && t.Len() >= n {
+			t.Name = prof.Name
+			t.ContentID = id
+			return t, nil
+		}
+	}
+	t, err := workload.GenerateProfile(prof, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	if store != nil {
+		var buf bytes.Buffer
+		if trace.Write(&buf, t) == nil {
+			store.Put("trace", id, buf.Bytes())
+		}
+	}
+	return t, nil
+}

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -52,6 +53,11 @@ type Suite struct {
 	// Timings, when non-nil, receives one "workload" sample per computed
 	// analysis bundle.
 	Timings *Timings
+	// Lookup, when non-nil, resolves names that are not built-in
+	// profiles to registered custom profiles plus their content hash
+	// (typically registry.Snapshot). Set it before the first Workload
+	// call — it is read without synchronization.
+	Lookup func(name string) (workload.Profile, string, bool)
 
 	mu    sync.Mutex
 	cache map[string]*workloadEntry
@@ -145,22 +151,70 @@ func (s *Suite) CounterSources() (workloads, simulations *metrics.Counter) {
 
 // Workload returns the cached analysis bundle for name, computing it on
 // first use. Concurrent callers for the same name block on a single
-// computation and share its result.
+// computation and share its result. Names that are not built-in
+// profiles resolve through Lookup (registered custom workloads); their
+// cache slots are keyed by name plus content hash, so re-registering a
+// name with different content computes fresh instead of serving the
+// old definition.
 func (s *Suite) Workload(name string) (*Workload, error) {
+	key := name
+	var custom *workload.Profile
+	if _, err := workload.ByName(name); err != nil && s.Lookup != nil {
+		if prof, hash, ok := s.Lookup(name); ok {
+			custom = &prof
+			// NUL cannot occur in a valid profile name, so custom slots
+			// can never collide with built-in ones.
+			key = name + "\x00" + hash
+		}
+	}
 	s.mu.Lock()
-	e, ok := s.cache[name]
+	e, ok := s.cache[key]
 	if !ok {
 		e = &workloadEntry{}
-		s.cache[name] = e
+		s.cache[key] = e
 	}
 	s.mu.Unlock()
 	e.once.Do(func() {
 		s.workloadComputes.Inc()
 		start := time.Now()
-		e.w, e.err = s.computeWorkload(name)
+		if custom != nil {
+			e.w, e.err = s.computeCustomWorkload(*custom)
+		} else {
+			e.w, e.err = s.computeWorkload(name)
+		}
 		s.Timings.Record("workload", name, time.Since(start))
 	})
 	return e.w, e.err
+}
+
+// Forget drops name's cached analysis bundles — both the built-in slot
+// and any content-hashed custom slots — so a deleted or re-registered
+// workload cannot be served from the suite cache. In-flight
+// computations complete on their orphaned entries and are discarded.
+func (s *Suite) Forget(name string) {
+	prefix := name + "\x00"
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key := range s.cache {
+		if key == name || strings.HasPrefix(key, prefix) {
+			delete(s.cache, key)
+		}
+	}
+}
+
+// KnowsWorkload reports whether name resolves to a built-in profile or
+// a registered custom workload — the validation predicate for requests
+// that reference workloads by name.
+func (s *Suite) KnowsWorkload(name string) bool {
+	if _, err := workload.ByName(name); err == nil {
+		return true
+	}
+	if s != nil && s.Lookup != nil {
+		if _, _, ok := s.Lookup(name); ok {
+			return true
+		}
+	}
+	return false
 }
 
 // computeWorkload builds the full analysis bundle for one benchmark,
@@ -171,6 +225,23 @@ func (s *Suite) computeWorkload(name string) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.analyzeTrace(name, t)
+}
+
+// computeCustomWorkload is computeWorkload for a registered profile:
+// the trace comes from the profile's content-keyed artifact slot, and
+// everything downstream is identical to a built-in.
+func (s *Suite) computeCustomWorkload(prof workload.Profile) (*Workload, error) {
+	t, err := LoadOrGenerateProfileTrace(s.Store, prof, s.N, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return s.analyzeTrace(prof.Name, t)
+}
+
+// analyzeTrace runs the shared analysis tail: IW characteristic,
+// power-law fit, miss statistics, and model inputs.
+func (s *Suite) analyzeTrace(name string, t *trace.Trace) (*Workload, error) {
 	scfg := stats.DefaultConfig()
 	scfg.Hierarchy = s.Sim.Hierarchy
 	scfg.PredictorBits = s.Sim.PredictorBits

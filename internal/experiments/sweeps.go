@@ -101,8 +101,15 @@ func SweepParams() []string {
 	return params
 }
 
-// Validate reports the first structural problem with the spec.
-func (sp SweepSpec) Validate() error {
+// Validate reports the first structural problem with the spec,
+// accepting only built-in benchmark names. Servers with a workload
+// registry use ValidateFor so registered names pass too.
+func (sp SweepSpec) Validate() error { return sp.ValidateFor(nil) }
+
+// ValidateFor is Validate against a suite's workload universe: a bench
+// name is acceptable when it is built-in or when s resolves it through
+// its registered-workload lookup. A nil s accepts built-ins only.
+func (sp SweepSpec) ValidateFor(s *Suite) error {
 	if _, ok := sweepCells[sp.Param]; !ok {
 		return fmt.Errorf("experiments: unknown sweep parameter %q (known: %s)",
 			sp.Param, strings.Join(SweepParams(), ", "))
@@ -111,6 +118,9 @@ func (sp SweepSpec) Validate() error {
 		return fmt.Errorf("experiments: sweep needs at least one benchmark")
 	}
 	for _, b := range sp.Benches {
+		if s.KnowsWorkload(b) {
+			continue
+		}
 		if _, err := workload.ByName(b); err != nil {
 			return err
 		}
@@ -142,7 +152,7 @@ func Sweep(ctx context.Context, s *Suite, spec SweepSpec) (*SweepResult, error) 
 // handed out) and is returned; cancelling ctx stops it at the next grid
 // cell. The returned result is identical to Sweep's for the same spec.
 func SweepStream(ctx context.Context, s *Suite, spec SweepSpec, emit func(SweepPoint) error) (*SweepResult, error) {
-	if err := spec.Validate(); err != nil {
+	if err := spec.ValidateFor(s); err != nil {
 		return nil, err
 	}
 	title := spec.Title

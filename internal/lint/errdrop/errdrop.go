@@ -36,6 +36,7 @@ var Packages = map[string]bool{
 	"fomodel/internal/server":   true,
 	"fomodel/internal/router":   true,
 	"fomodel/internal/artifact": true,
+	"fomodel/internal/registry": true,
 }
 
 // Analyzer is the errdrop pass.

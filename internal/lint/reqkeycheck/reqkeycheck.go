@@ -29,10 +29,11 @@ import (
 	"fomodel/internal/lint/analysis"
 )
 
-// Packages scopes the analyzer to the two sides of the key contract.
+// Packages scopes the analyzer to the sides of the key contract.
 var Packages = map[string]bool{
-	"fomodel/internal/server": true,
-	"fomodel/internal/router": true,
+	"fomodel/internal/server":   true,
+	"fomodel/internal/router":   true,
+	"fomodel/internal/registry": true,
 }
 
 // Analyzer is the reqkeycheck pass.

@@ -294,6 +294,13 @@ func (s Spec) defaultTitle() string {
 // response cache, and the fomodelproxy router normalizes the same way
 // before hashing onto the ring.
 func (s *Spec) Normalize(defaultN int, defaultTraceSeed uint64) error {
+	return s.NormalizeWith(defaultN, defaultTraceSeed, nil)
+}
+
+// NormalizeWith is Normalize with an extra workload universe: known,
+// when non-nil, reports additional (registered) workload names the
+// serving side can resolve beyond the built-in profiles.
+func (s *Spec) NormalizeWith(defaultN int, defaultTraceSeed uint64, known func(string) bool) error {
 	s.fillSearchDefaults()
 	if s.N == 0 {
 		s.N = defaultN
@@ -301,13 +308,20 @@ func (s *Spec) Normalize(defaultN int, defaultTraceSeed uint64) error {
 	if s.TraceSeed == 0 {
 		s.TraceSeed = defaultTraceSeed
 	}
-	return s.Validate()
+	return s.ValidateWith(known)
 }
 
-// Validate reports the first structural problem with the spec. Every
-// enumeration in an error message is sorted, so the wording never
-// depends on map iteration order.
-func (s Spec) Validate() error {
+// Validate reports the first structural problem with the spec,
+// accepting only built-in workload names. Every enumeration in an
+// error message is sorted, so the wording never depends on map
+// iteration order.
+func (s Spec) Validate() error { return s.ValidateWith(nil) }
+
+// ValidateWith is Validate with an extra workload universe: a mix
+// entry passes when its bench is built-in or when known (non-nil)
+// reports it resolvable — the hook servers with a workload registry
+// thread through.
+func (s Spec) ValidateWith(known func(string) bool) error {
 	if len(s.Workloads) == 0 {
 		return fmt.Errorf("optimize: spec needs at least one workload")
 	}
@@ -317,7 +331,9 @@ func (s Spec) Validate() error {
 	seen := make(map[string]bool, len(s.Workloads))
 	for _, w := range s.Workloads {
 		if _, err := workload.ByName(w.Bench); err != nil {
-			return err
+			if known == nil || !known(w.Bench) {
+				return err
+			}
 		}
 		if seen[w.Bench] {
 			return fmt.Errorf("optimize: workload %q listed twice in the mix", w.Bench)
@@ -508,6 +524,11 @@ type Options struct {
 	// Emit, when non-nil, receives each accepted Point in discovery
 	// order, on the calling goroutine; an Emit error aborts the search.
 	Emit func(Point) error
+	// KnownWorkload, when non-nil, extends the workload universe the
+	// internal re-validation accepts beyond the built-in profiles
+	// (registered custom workloads). It must match whatever universe
+	// the eval function can actually serve.
+	KnownWorkload func(string) bool
 }
 
 // searcher is one Run invocation's state.
@@ -542,7 +563,7 @@ type searchAxis struct {
 // through to eval as given.
 func Run(ctx context.Context, spec Spec, eval EvalFunc, opts Options) (*Result, error) {
 	spec.fillSearchDefaults()
-	if err := spec.Validate(); err != nil {
+	if err := spec.ValidateWith(opts.KnownWorkload); err != nil {
 		return nil, err
 	}
 	_, valid := spec.gridCounts()

@@ -10,6 +10,18 @@ package reqkey
 
 import "encoding/json"
 
+// Resolver maps a registered workload name to its current profile
+// content hash. The daemon's registry implements it directly and the
+// proxy implements it with a replicated name→hash mirror, so both
+// sides embed the same content hash in the canonical key: a name whose
+// registered content changed yields a new key (no stale results),
+// while the same content under any name shares one key.
+type Resolver interface {
+	// WorkloadContent returns the content hash registered under name,
+	// or ok=false when the name is not registered.
+	WorkloadContent(name string) (hash string, ok bool)
+}
+
 // Defaults are the server-side request defaults that participate in
 // canonicalization: a request that omits n or seed and a request that
 // spells them out explicitly must map to one key, so both the daemon and
@@ -20,6 +32,9 @@ type Defaults struct {
 	N int
 	// Seed is the default workload generation seed.
 	Seed uint64
+	// Resolver resolves registered workload names during
+	// normalization; nil means only built-in names resolve.
+	Resolver Resolver
 }
 
 // StandardDefaults are the daemon's flag defaults (-n 500000 -seed 1);

@@ -43,6 +43,9 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", rt.instrument("/v1/sweep", rt.handleSweep))
 	mux.HandleFunc("POST /v1/optimize", rt.instrument("/v1/optimize", rt.handleOptimize))
 	mux.HandleFunc("GET /v1/workloads", rt.instrument("/v1/workloads", rt.handleWorkloads))
+	mux.HandleFunc("POST /v1/workloads/{name}", rt.instrument("/v1/workloads/{name}", rt.handleWorkloadRegister))
+	mux.HandleFunc("GET /v1/workloads/{name}", rt.instrument("/v1/workloads/{name}", rt.handleWorkloadGet))
+	mux.HandleFunc("DELETE /v1/workloads/{name}", rt.instrument("/v1/workloads/{name}", rt.handleWorkloadDelete))
 	mux.HandleFunc("GET /healthz", rt.instrument("/healthz", rt.handleHealthz))
 	mux.HandleFunc("GET /readyz", rt.instrument("/readyz", rt.handleReadyz))
 	mux.HandleFunc("GET /metrics", rt.instrument("/metrics", rt.handleMetrics))
@@ -172,11 +175,16 @@ func (rt *Router) readBody(w http.ResponseWriter, r *http.Request, limit int64) 
 	return raw, true
 }
 
-// forwardHeader is the header set shipped with every upstream attempt.
+// forwardHeader is the header set shipped with every upstream attempt:
+// the request ID minted (or accepted) by instrument, plus the caller's
+// tenant so replicated workload writes land under the right owner.
 func forwardHeader(r *http.Request) http.Header {
 	h := http.Header{}
 	if id := r.Header.Get("X-Request-ID"); id != "" {
 		h.Set("X-Request-ID", id)
+	}
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		h.Set("X-Tenant", t)
 	}
 	return h
 }

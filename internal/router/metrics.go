@@ -148,6 +148,10 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "fomodelproxy_replica_in_flight{replica=%q} %d\n", rep.url, rep.inflight.Load())
 	}
 
+	fmt.Fprintf(w, "# HELP fomodelproxy_workload_mirror_size Registered-workload names the proxy currently resolves.\n")
+	fmt.Fprintf(w, "# TYPE fomodelproxy_workload_mirror_size gauge\n")
+	fmt.Fprintf(w, "fomodelproxy_workload_mirror_size %d\n", rt.mirror.size())
+
 	fmt.Fprintf(w, "# HELP fomodelproxy_hedge_wins_total Requests won by the hedged (second) attempt.\n")
 	fmt.Fprintf(w, "# TYPE fomodelproxy_hedge_wins_total counter\n")
 	fmt.Fprintf(w, "fomodelproxy_hedge_wins_total %d\n", rt.hedgeWins.Load())

@@ -184,6 +184,11 @@ type Router struct {
 	reqMu      sync.Mutex
 	requests   map[requestKey]*metrics.Counter
 	probeGroup sync.WaitGroup
+
+	// mirror tracks name → content hash for workload registrations the
+	// proxy has replicated, so registered names canonicalize to the same
+	// content-carrying keys on the proxy as on the daemons.
+	mirror *workloadMirror
 }
 
 type requestKey struct {
@@ -200,6 +205,12 @@ func New(cfg Config, log *slog.Logger) (*Router, error) {
 	if log == nil {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	mirror := newWorkloadMirror()
+	if cfg.Defaults.Resolver == nil {
+		// The mirror doubles as the proxy's name resolver: once a
+		// registration has fanned out, the name keys like a daemon's.
+		cfg.Defaults.Resolver = mirror
+	}
 	rt := &Router{
 		cfg:      cfg,
 		log:      log,
@@ -209,6 +220,7 @@ func New(cfg Config, log *slog.Logger) (*Router, error) {
 		upstream: metrics.NewHistogram(metrics.HedgeLatencyBounds()...),
 		latency:  metrics.NewHistogram(metrics.DefaultLatencyBounds()...),
 		requests: make(map[requestKey]*metrics.Counter),
+		mirror:   mirror,
 	}
 	for i, url := range cfg.Replicas {
 		cl := client.NewPooled(url, cfg.MaxIdleConns)
@@ -606,7 +618,7 @@ func (rt *Router) sweepKey(body []byte) string {
 	if err := strictDecode(body, &spec); err != nil {
 		return rawKey("sweep", body)
 	}
-	key, err := server.SweepCacheKey(spec)
+	key, err := server.SweepCacheKey(spec, rt.cfg.Defaults)
 	if err != nil {
 		return rawKey("sweep", body)
 	}

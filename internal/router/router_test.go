@@ -778,7 +778,7 @@ func TestProbeDoesNotRetryNotReady(t *testing.T) {
 // same way reqkey's tests do for predict.
 func TestSweepSpecKeySharing(t *testing.T) {
 	spec := experiments.SweepSpec{Param: "rob", Benches: []string{"gzip"}, Values: []int{32}}
-	fromServer, err := server.SweepCacheKey(spec)
+	fromServer, err := server.SweepCacheKey(spec, testDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -164,6 +164,7 @@ func (s *Server) batchItem(ctx context.Context, req PredictRequest) (item BatchI
 	case err != nil:
 		return BatchItem{Status: http.StatusInternalServerError, Error: err.Error()}, nil
 	}
+	s.noteRegisteredUse(req.Bench, hit)
 	cache := "miss"
 	if hit {
 		cache = "hit"

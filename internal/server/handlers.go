@@ -109,13 +109,23 @@ type PredictRequest struct {
 	BranchMode string `json:"branch_mode,omitempty"`
 	// Sim additionally runs the detailed simulator and reports its CPI.
 	Sim bool `json:"sim,omitempty"`
+	// Content is the registered workload's profile content hash, filled
+	// during normalization when Bench names a registered custom
+	// workload (empty for built-ins, which keeps their canonical keys
+	// byte-identical to pre-registry servers). Client-supplied values
+	// are overwritten, so a forged hash can never pin a request to a
+	// stale cache entry.
+	Content string `json:"content,omitempty"`
 }
 
 // Normalize fills defaults and validates, returning an error fit for a
 // 400 response. It is idempotent, and it is the shared canonicalization
 // step: the daemon normalizes before keying its response cache, and the
 // fomodelproxy router normalizes (via PredictCacheKey) before hashing
-// onto the ring.
+// onto the ring. Names that are not built-in profiles resolve through
+// d.Resolver (the daemon's workload registry, or the router's mirror of
+// it); the resolved content hash lands in req.Content, making the
+// registered profile's content part of the canonical key.
 func (req *PredictRequest) Normalize(d reqkey.Defaults) error {
 	if req.N == 0 {
 		req.N = d.N
@@ -126,8 +136,17 @@ func (req *PredictRequest) Normalize(d reqkey.Defaults) error {
 	if req.BranchMode == "" {
 		req.BranchMode = "midpoint"
 	}
+	req.Content = ""
 	if _, err := workload.ByName(req.Bench); err != nil {
-		return err
+		hash := ""
+		ok := false
+		if d.Resolver != nil {
+			hash, ok = d.Resolver.WorkloadContent(req.Bench)
+		}
+		if !ok {
+			return err
+		}
+		req.Content = hash
 	}
 	if req.N < minTraceLen || req.N > maxTraceLen {
 		return fmt.Errorf("n %d outside [%d, %d]", req.N, minTraceLen, maxTraceLen)
@@ -192,6 +211,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		return http.StatusOK, body, nil
 	})
+	s.noteRegisteredUse(req.Bench, hit)
 	s.finishCompute(sw, status, body, hit, err)
 }
 
@@ -233,7 +253,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeRequestError(w, err)
 		return
 	}
-	if err := spec.Validate(); err != nil {
+	if err := spec.ValidateFor(s.suite); err != nil {
 		s.writeError(w, http.StatusBadRequest, "%s", err)
 		return
 	}
@@ -245,7 +265,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.streamSweep(sw, r, spec)
 		return
 	}
-	key, err := SweepCacheKey(spec)
+	key, err := SweepCacheKey(spec, s.cfg.KeyDefaults())
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, "%s", err)
 		return

@@ -9,7 +9,6 @@ import (
 	"fomodel/internal/iw"
 	"fomodel/internal/metrics"
 	"fomodel/internal/uarch"
-	"fomodel/internal/workload"
 )
 
 // analysisCache is the daemon's in-memory bundle cache: analysis
@@ -120,13 +119,16 @@ func (c *analysisCache) Stats() (hits, misses int64) {
 func (s *Server) predictRecord(req PredictRequest, machine core.Machine, ucfg uarch.Config,
 	mode core.BranchPenaltyMode) (PredictRecord, error) {
 	scfg := predictStatsConfig(machine, ucfg)
-	contentID := workload.ContentID(req.Bench, req.N, req.Seed)
-	key := experiments.AnalysisKey(contentID, iw.DefaultWindows(), scfg)
+	rw, err := s.resolveWorkload(req)
+	if err != nil {
+		return PredictRecord{}, err
+	}
+	key := experiments.AnalysisKey(rw.contentID, iw.DefaultWindows(), scfg)
 	an, err := s.analysis.do(key, func() (*experiments.AnalysisArtifact, error) {
-		if a, ok := experiments.LookupAnalysis(s.cfg.Store, contentID, req.N, iw.DefaultWindows(), scfg); ok {
+		if a, ok := experiments.LookupAnalysis(s.cfg.Store, rw.contentID, req.N, iw.DefaultWindows(), scfg); ok {
 			return a, nil
 		}
-		t, err := s.traceFor(req.Bench, req.N, req.Seed)
+		t, err := s.traceFor(rw)
 		if err != nil {
 			return nil, err
 		}
@@ -145,7 +147,7 @@ func (s *Server) predictRecord(req PredictRequest, machine core.Machine, ucfg ua
 	}
 	rec := PredictRecord{Bench: req.Bench, Inputs: inputs, Estimate: est}
 	if req.Sim {
-		t, err := s.traceFor(req.Bench, req.N, req.Seed)
+		t, err := s.traceFor(rw)
 		if err != nil {
 			return PredictRecord{}, err
 		}

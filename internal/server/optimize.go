@@ -10,7 +10,6 @@ import (
 
 	"fomodel/internal/core"
 	"fomodel/internal/optimize"
-	"fomodel/internal/reqkey"
 )
 
 // This file is the daemon's half of the /v1/optimize surface: the
@@ -42,18 +41,6 @@ type OptimizeTrailer struct {
 	Converged   bool             `json:"converged"`
 	Render      string           `json:"render"`
 	CSV         string           `json:"csv"`
-}
-
-// OptimizeCacheKey canonicalizes one optimize spec against the given
-// defaults: the spec is normalized (defaults filled, inputs validated)
-// and the normalized value keyed, so spelling differences collapse to
-// one key — shared, like every key in this file's contract, with the
-// fomodelproxy router's replica selection.
-func OptimizeCacheKey(spec optimize.Spec, d reqkey.Defaults) (string, error) {
-	if err := spec.Normalize(d.N, d.Seed); err != nil {
-		return "", err
-	}
-	return reqkey.Canonical("optimize", spec)
 }
 
 // optimizeMachineSpec projects one candidate onto the predict wire
@@ -130,6 +117,7 @@ func (s *Server) optimizeEval(spec optimize.Spec) optimize.EvalFunc {
 		if hit {
 			s.optEvalHits.Inc()
 		}
+		s.noteRegisteredUse(bench, hit)
 		var rec PredictRecord
 		if err := json.Unmarshal(body, &rec); err != nil {
 			return 0, fmt.Errorf("malformed cached predict body: %w", err)
@@ -144,15 +132,16 @@ func (s *Server) optimizeEval(spec optimize.Spec) optimize.EvalFunc {
 // local and remote outputs byte-identical. emit, when non-nil, receives
 // accepted points in discovery order.
 func (s *Server) Optimize(ctx context.Context, spec optimize.Spec, emit func(optimize.Point) error) (*optimize.Result, error) {
-	if err := spec.Normalize(s.cfg.N, s.cfg.Seed); err != nil {
+	if err := spec.NormalizeWith(s.cfg.N, s.cfg.Seed, s.knownWorkload); err != nil {
 		return nil, err
 	}
 	if spec.N < minTraceLen || spec.N > maxTraceLen {
 		return nil, fmt.Errorf("n %d outside [%d, %d]", spec.N, minTraceLen, maxTraceLen)
 	}
 	res, err := optimize.Run(ctx, spec, s.optimizeEval(spec), optimize.Options{
-		Workers: s.cfg.Workers,
-		Emit:    emit,
+		Workers:       s.cfg.Workers,
+		Emit:          emit,
+		KnownWorkload: s.knownWorkload,
 	})
 	if err != nil {
 		return nil, err
@@ -179,7 +168,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.writeRequestError(w, err)
 		return
 	}
-	if err := spec.Normalize(s.cfg.N, s.cfg.Seed); err != nil {
+	if err := spec.NormalizeWith(s.cfg.N, s.cfg.Seed, s.knownWorkload); err != nil {
 		s.writeError(w, http.StatusBadRequest, "%s", err)
 		return
 	}

@@ -20,6 +20,7 @@ import (
 	"fomodel/internal/artifact"
 	"fomodel/internal/experiments"
 	"fomodel/internal/metrics"
+	"fomodel/internal/registry"
 	"fomodel/internal/trace"
 	"fomodel/internal/workload"
 )
@@ -52,6 +53,11 @@ type Config struct {
 	// traces, analyses, classification preps, and producer links are
 	// served from and written to it, surviving restarts.
 	Store *artifact.Store
+	// Registry holds named custom workloads (POST /v1/workloads/{name});
+	// nil selects a fresh registry with default quotas, persisted
+	// through Store. Registered names are accepted anywhere a built-in
+	// benchmark name is.
+	Registry *registry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -107,13 +113,22 @@ type Server struct {
 	reqMu    sync.Mutex
 	requests map[requestKey]*metrics.Counter
 
-	// traces is the bounded LRU of non-default (bench, n, seed) traces;
-	// analysis holds the in-memory analysis bundles keyed by content.
+	// traces is the bounded LRU of non-default traces, keyed by content
+	// ID (recipe for built-ins, profile content hash + recipe for
+	// registered workloads); analysis holds the in-memory analysis
+	// bundles keyed by content.
 	traceMu        sync.Mutex
-	traces         map[traceKey]*traceEntry
+	traces         map[string]*traceEntry
 	traceOrder     *list.List // front = most recently used
 	traceEvictions metrics.Counter
 	analysis       *analysisCache
+
+	// Per-registered-workload request/hit accounting, keyed by workload
+	// name; populated only for names present in the registry, so the
+	// maps are bounded by the registered population.
+	regUseMu    sync.Mutex
+	regRequests map[string]*metrics.Counter
+	regHits     map[string]*metrics.Counter
 
 	// Optimize-search instrumentation: candidate evaluations run (and
 	// the share served by the response cache), refinement rounds, and
@@ -138,14 +153,8 @@ type requestKey struct {
 	code int
 }
 
-type traceKey struct {
-	bench string
-	n     int
-	seed  uint64
-}
-
 type traceEntry struct {
-	key  traceKey
+	key  string // content ID
 	elem *list.Element
 	once sync.Once
 	// finished is set under traceMu after once completed; eviction skips
@@ -164,18 +173,24 @@ func New(cfg Config, log *slog.Logger) *Server {
 	suite := experiments.NewSuite(cfg.N, cfg.Seed)
 	suite.Workers = cfg.Workers
 	suite.SetStore(cfg.Store)
+	if cfg.Registry == nil {
+		cfg.Registry = registry.New(registry.Config{Store: cfg.Store})
+	}
+	suite.Lookup = cfg.Registry.Snapshot
 	return &Server{
-		cfg:        cfg,
-		log:        log,
-		suite:      suite,
-		cache:      newRespCache(cfg.CacheEntries),
-		start:      time.Now(),
-		latency:    metrics.NewHistogram(metrics.DefaultLatencyBounds()...),
-		slots:      make(chan struct{}, cfg.MaxInflight),
-		requests:   make(map[requestKey]*metrics.Counter),
-		traces:     make(map[traceKey]*traceEntry),
-		traceOrder: list.New(),
-		analysis:   newAnalysisCache(cfg.AnalysisCacheEntries),
+		cfg:         cfg,
+		log:         log,
+		suite:       suite,
+		cache:       newRespCache(cfg.CacheEntries),
+		start:       time.Now(),
+		latency:     metrics.NewHistogram(metrics.DefaultLatencyBounds()...),
+		slots:       make(chan struct{}, cfg.MaxInflight),
+		requests:    make(map[requestKey]*metrics.Counter),
+		traces:      make(map[string]*traceEntry),
+		traceOrder:  list.New(),
+		analysis:    newAnalysisCache(cfg.AnalysisCacheEntries),
+		regRequests: make(map[string]*metrics.Counter),
+		regHits:     make(map[string]*metrics.Counter),
 	}
 }
 
@@ -205,6 +220,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", true, s.handleSweep))
 	mux.HandleFunc("POST /v1/optimize", s.instrument("/v1/optimize", true, s.handleOptimize))
 	mux.HandleFunc("GET /v1/workloads", s.instrument("/v1/workloads", true, s.handleWorkloads))
+	mux.HandleFunc("POST /v1/workloads/{name}", s.instrument("/v1/workloads/{name}", true, s.handleWorkloadRegister))
+	mux.HandleFunc("GET /v1/workloads/{name}", s.instrument("/v1/workloads/{name}", true, s.handleWorkloadGet))
+	mux.HandleFunc("DELETE /v1/workloads/{name}", s.instrument("/v1/workloads/{name}", true, s.handleWorkloadDelete))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", false, s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.instrument("/readyz", false, s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", false, s.handleMetrics))
@@ -398,23 +416,57 @@ func (s *Server) finishComputeState(w *statusWriter, status int, body []byte, ca
 	}
 }
 
-// traceFor returns the (bench, n, seed) trace, sharing the suite's
+// resolvedWorkload is one request's workload identity after name
+// resolution: the content ID that keys every cache and artifact, plus
+// — for registered custom workloads — the profile snapshot to generate
+// from. prof is nil for built-in benchmarks.
+type resolvedWorkload struct {
+	bench     string
+	n         int
+	seed      uint64
+	contentID string
+	prof      *workload.Profile
+}
+
+// resolveWorkload maps a normalized predict request onto its workload
+// identity: built-in names key by the classic recipe ContentID,
+// registered names by the profile's name-free CustomContentID — so two
+// names registered with identical content share traces, analyses, and
+// artifacts, while re-registered content changes every downstream key.
+func (s *Server) resolveWorkload(req PredictRequest) (resolvedWorkload, error) {
+	rw := resolvedWorkload{bench: req.Bench, n: req.N, seed: req.Seed}
+	_, nameErr := workload.ByName(req.Bench)
+	if nameErr == nil {
+		rw.contentID = workload.ContentID(req.Bench, req.N, req.Seed)
+		return rw, nil
+	}
+	if prof, hash, ok := s.cfg.Registry.Snapshot(req.Bench); ok {
+		rw.prof = &prof
+		rw.contentID = workload.CustomContentID(hash, req.N, req.Seed)
+		return rw, nil
+	}
+	return rw, nameErr
+}
+
+// traceFor returns the resolved workload's trace, sharing the suite's
 // workload bundle when the request uses the server defaults (so predict,
 // sweep, and workload-listing traffic all hit one prep-cache keyspace)
 // and a dedicated single-flight trace cache otherwise. The dedicated
-// cache is a bounded LRU: evicting a trace also releases the prep-cache
-// entries it pinned, so sweeping many (n, seed) pairs cannot grow the
-// server's footprint without bound. Traces load through the artifact
-// store when one is configured.
-func (s *Server) traceFor(bench string, n int, seed uint64) (*trace.Trace, error) {
-	if n == s.cfg.N && seed == s.cfg.Seed {
-		w, err := s.suite.Workload(bench)
+// cache is a bounded LRU keyed by content ID: evicting a trace also
+// releases the prep-cache entries it pinned, so sweeping many (n, seed)
+// pairs cannot grow the server's footprint without bound. Traces load
+// through the artifact store when one is configured.
+func (s *Server) traceFor(rw resolvedWorkload) (*trace.Trace, error) {
+	if rw.n == s.cfg.N && rw.seed == s.cfg.Seed {
+		// The suite resolves registered names through its own Lookup, so
+		// this path serves built-ins and registered workloads alike.
+		w, err := s.suite.Workload(rw.bench)
 		if err != nil {
 			return nil, err
 		}
 		return w.Trace, nil
 	}
-	k := traceKey{bench: bench, n: n, seed: seed}
+	k := rw.contentID
 	s.traceMu.Lock()
 	e, ok := s.traces[k]
 	if ok {
@@ -427,7 +479,11 @@ func (s *Server) traceFor(bench string, n int, seed uint64) (*trace.Trace, error
 	}
 	s.traceMu.Unlock()
 	e.once.Do(func() {
-		e.t, e.err = experiments.LoadOrGenerateTrace(s.cfg.Store, bench, n, seed)
+		if rw.prof != nil {
+			e.t, e.err = experiments.LoadOrGenerateProfileTrace(s.cfg.Store, *rw.prof, rw.n, rw.seed)
+		} else {
+			e.t, e.err = experiments.LoadOrGenerateTrace(s.cfg.Store, rw.bench, rw.n, rw.seed)
+		}
 		s.traceMu.Lock()
 		e.finished = true
 		if e.err != nil && s.traces[k] == e {
@@ -617,6 +673,59 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP fomodeld_optimize_frontier_size Frontier size of the most recent completed search.\n")
 	fmt.Fprintf(w, "# TYPE fomodeld_optimize_frontier_size gauge\n")
 	fmt.Fprintf(w, "fomodeld_optimize_frontier_size %d\n", s.optFrontier.Load())
+
+	if reg := s.cfg.Registry; reg != nil {
+		registers, deletes, rejects, persistErrors := reg.Stats()
+		fmt.Fprintf(w, "# HELP fomodeld_registry_registrations_total Custom workloads registered (including replacements).\n")
+		fmt.Fprintf(w, "# TYPE fomodeld_registry_registrations_total counter\n")
+		fmt.Fprintf(w, "fomodeld_registry_registrations_total %d\n", registers)
+		fmt.Fprintf(w, "# HELP fomodeld_registry_deletions_total Custom workloads deleted.\n")
+		fmt.Fprintf(w, "# TYPE fomodeld_registry_deletions_total counter\n")
+		fmt.Fprintf(w, "fomodeld_registry_deletions_total %d\n", deletes)
+		fmt.Fprintf(w, "# HELP fomodeld_registry_rejections_total Registrations rejected by validation, collision, or quota.\n")
+		fmt.Fprintf(w, "# TYPE fomodeld_registry_rejections_total counter\n")
+		fmt.Fprintf(w, "fomodeld_registry_rejections_total %d\n", rejects)
+		fmt.Fprintf(w, "# HELP fomodeld_registry_persist_errors_total Failed writes of the registry index to the artifact store.\n")
+		fmt.Fprintf(w, "# TYPE fomodeld_registry_persist_errors_total counter\n")
+		fmt.Fprintf(w, "fomodeld_registry_persist_errors_total %d\n", persistErrors)
+
+		usage := reg.TenantUsage()
+		tenants := make([]string, 0, len(usage))
+		for t := range usage {
+			tenants = append(tenants, t)
+		}
+		sort.Strings(tenants)
+		fmt.Fprintf(w, "# HELP fomodeld_registry_workloads Registered workloads currently held, by tenant.\n")
+		fmt.Fprintf(w, "# TYPE fomodeld_registry_workloads gauge\n")
+		for _, t := range tenants {
+			fmt.Fprintf(w, "fomodeld_registry_workloads{tenant=%q} %d\n", t, usage[t].Count)
+		}
+		fmt.Fprintf(w, "# HELP fomodeld_registry_bytes Encoded profile bytes currently held, by tenant.\n")
+		fmt.Fprintf(w, "# TYPE fomodeld_registry_bytes gauge\n")
+		for _, t := range tenants {
+			fmt.Fprintf(w, "fomodeld_registry_bytes{tenant=%q} %d\n", t, usage[t].Bytes)
+		}
+
+		s.regUseMu.Lock()
+		names := make([]string, 0, len(s.regRequests))
+		for name := range s.regRequests {
+			names = append(names, name)
+		}
+		s.regUseMu.Unlock()
+		sort.Strings(names)
+		fmt.Fprintf(w, "# HELP fomodeld_registered_workload_requests_total Predict evaluations referencing a registered workload, by name.\n")
+		fmt.Fprintf(w, "# TYPE fomodeld_registered_workload_requests_total counter\n")
+		for _, name := range names {
+			fmt.Fprintf(w, "fomodeld_registered_workload_requests_total{workload=%q} %d\n",
+				name, s.registeredUseCounter(s.regRequests, name).Load())
+		}
+		fmt.Fprintf(w, "# HELP fomodeld_registered_workload_cache_hits_total Registered-workload evaluations served from the response cache, by name.\n")
+		fmt.Fprintf(w, "# TYPE fomodeld_registered_workload_cache_hits_total counter\n")
+		for _, name := range names {
+			fmt.Fprintf(w, "fomodeld_registered_workload_cache_hits_total{workload=%q} %d\n",
+				name, s.registeredUseCounter(s.regHits, name).Load())
+		}
+	}
 
 	if st := s.cfg.Store; st != nil {
 		hits, misses, corrupt, writes, evictions := st.Stats()

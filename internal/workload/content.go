@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"fomodel/internal/trace"
+)
+
+// ContentHash returns a hex digest of every generation-relevant profile
+// field. Name is deliberately excluded: the generator's instruction
+// stream depends only on the numeric fields and the seed (Name flows
+// into trace.Name and error text, never into the rng streams), so two
+// tenants registering the same numbers under different names share one
+// hash — and therefore one trace, one analysis, one cache entry. Fields
+// are written in struct declaration order; adding a field changes every
+// hash, which is the correct invalidation.
+func (p *Profile) ContentHash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "mix=%v\n", p.Mix)
+	fmt.Fprintf(h, "block_len_mean=%v\n", p.BlockLenMean)
+	fmt.Fprintf(h, "num_blocks=%d\n", p.NumBlocks)
+	fmt.Fprintf(h, "hot_blocks=%d\n", p.HotBlocks)
+	fmt.Fprintf(h, "hot_jump_frac=%v\n", p.HotJumpFrac)
+	fmt.Fprintf(h, "escape_frac=%v\n", p.EscapeFrac)
+	fmt.Fprintf(h, "hard_branch_frac=%v\n", p.HardBranchFrac)
+	fmt.Fprintf(h, "hard_taken_prob=%v\n", p.HardTakenProb)
+	fmt.Fprintf(h, "easy_bias_lo=%v\n", p.EasyBiasLo)
+	fmt.Fprintf(h, "easy_bias_hi=%v\n", p.EasyBiasHi)
+	fmt.Fprintf(h, "easy_taken_frac=%v\n", p.EasyTakenFrac)
+	fmt.Fprintf(h, "no_dep_frac=%v\n", p.NoDepFrac)
+	fmt.Fprintf(h, "dep_short_frac=%v\n", p.DepShortFrac)
+	fmt.Fprintf(h, "dep_short_mean=%v\n", p.DepShortMean)
+	fmt.Fprintf(h, "dep_long_alpha=%v\n", p.DepLongAlpha)
+	fmt.Fprintf(h, "dep_long_max=%d\n", p.DepLongMax)
+	fmt.Fprintf(h, "two_src_frac=%v\n", p.TwoSrcFrac)
+	fmt.Fprintf(h, "data_hot_size=%d\n", p.DataHotSize)
+	fmt.Fprintf(h, "data_warm_size=%d\n", p.DataWarmSize)
+	fmt.Fprintf(h, "data_cold_size=%d\n", p.DataColdSize)
+	fmt.Fprintf(h, "data_hot_frac=%v\n", p.DataHotFrac)
+	fmt.Fprintf(h, "data_warm_frac=%v\n", p.DataWarmFrac)
+	fmt.Fprintf(h, "cold_burst_mean=%v\n", p.ColdBurstMean)
+	fmt.Fprintf(h, "cold_stride=%d\n", p.ColdStride)
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
+// CustomContentID returns the content key of the trace a registered
+// profile with the given ContentHash generates at (n, seed). The
+// "custom:" prefix keeps the key space disjoint from built-in profile
+// names, so a registered workload can never collide with — or poison —
+// a built-in's cached trace, and GenVersion invalidates stored traces
+// whenever the generator changes, exactly as ContentID does.
+func CustomContentID(hash string, n int, seed uint64) string {
+	return fmt.Sprintf("custom:%s|n=%d|seed=%d|g%d", hash, n, seed, GenVersion)
+}
+
+// GenerateProfile produces a trace of at least n instructions from an
+// explicit profile, stamping the trace with the profile's
+// CustomContentID. It is the registered-workload analogue of Generate.
+func GenerateProfile(prof Profile, n int, seed uint64) (*trace.Trace, error) {
+	g, err := NewGenerator(prof, seed)
+	if err != nil {
+		return nil, err
+	}
+	t, err := g.Generate(n)
+	if err != nil {
+		return nil, err
+	}
+	t.ContentID = CustomContentID(prof.ContentHash(), n, seed)
+	return t, nil
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestContentHashIgnoresName(t *testing.T) {
+	a, err := ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a
+	b.Name = "my-gzip-clone"
+	if a.ContentHash() != b.ContentHash() {
+		t.Error("renaming a profile changed its content hash")
+	}
+}
+
+func TestContentHashSeesEveryGeneratorField(t *testing.T) {
+	base, err := ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := base.ContentHash()
+	mutations := map[string]func(*Profile){
+		"mix":              func(p *Profile) { p.Mix[0] += 0.01; p.Mix[1] -= 0.01 },
+		"block_len_mean":   func(p *Profile) { p.BlockLenMean++ },
+		"num_blocks":       func(p *Profile) { p.NumBlocks++ },
+		"hot_blocks":       func(p *Profile) { p.HotBlocks++ },
+		"hot_jump_frac":    func(p *Profile) { p.HotJumpFrac += 0.01 },
+		"escape_frac":      func(p *Profile) { p.EscapeFrac += 0.001 },
+		"hard_branch_frac": func(p *Profile) { p.HardBranchFrac += 0.01 },
+		"hard_taken_prob":  func(p *Profile) { p.HardTakenProb += 0.01 },
+		"easy_bias_lo":     func(p *Profile) { p.EasyBiasLo += 0.001 },
+		"easy_bias_hi":     func(p *Profile) { p.EasyBiasHi -= 0.001 },
+		"easy_taken_frac":  func(p *Profile) { p.EasyTakenFrac += 0.01 },
+		"no_dep_frac":      func(p *Profile) { p.NoDepFrac += 0.01 },
+		"dep_short_frac":   func(p *Profile) { p.DepShortFrac -= 0.01 },
+		"dep_short_mean":   func(p *Profile) { p.DepShortMean += 0.1 },
+		"dep_long_alpha":   func(p *Profile) { p.DepLongAlpha += 0.01 },
+		"dep_long_max":     func(p *Profile) { p.DepLongMax++ },
+		"two_src_frac":     func(p *Profile) { p.TwoSrcFrac += 0.01 },
+		"data_hot_size":    func(p *Profile) { p.DataHotSize++ },
+		"data_warm_size":   func(p *Profile) { p.DataWarmSize++ },
+		"data_cold_size":   func(p *Profile) { p.DataColdSize++ },
+		"data_hot_frac":    func(p *Profile) { p.DataHotFrac += 0.001 },
+		"data_warm_frac":   func(p *Profile) { p.DataWarmFrac -= 0.001 },
+		"cold_burst_mean":  func(p *Profile) { p.ColdBurstMean += 0.1 },
+		"cold_stride":      func(p *Profile) { p.ColdStride++ },
+	}
+	for field, mutate := range mutations {
+		p := base
+		mutate(&p)
+		if p.ContentHash() == ref {
+			t.Errorf("mutating %s did not change the content hash", field)
+		}
+	}
+}
+
+func TestCustomContentIDDisjointFromBuiltins(t *testing.T) {
+	p, err := ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom := CustomContentID(p.ContentHash(), 1000, 7)
+	if !strings.HasPrefix(custom, "custom:") {
+		t.Errorf("custom content ID %q lacks the custom: prefix", custom)
+	}
+	if builtin := ContentID("gzip", 1000, 7); builtin == custom {
+		t.Error("custom content ID collides with the built-in keyspace")
+	}
+	if again := CustomContentID(p.ContentHash(), 1000, 7); again != custom {
+		t.Error("custom content ID not deterministic")
+	}
+	if other := CustomContentID(p.ContentHash(), 1000, 8); other == custom {
+		t.Error("seed not part of the custom content ID")
+	}
+}
+
+func TestGenerateProfileMatchesBuiltinGeneration(t *testing.T) {
+	p, err := ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Name = "renamed"
+	tr, err := GenerateProfile(p, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "renamed" {
+		t.Errorf("trace name %q, want the profile's name", tr.Name)
+	}
+	want := CustomContentID(p.ContentHash(), 2000, 3)
+	if tr.ContentID != want {
+		t.Errorf("trace content ID %q, want %q", tr.ContentID, want)
+	}
+	// Same numeric profile under the built-in path: instruction stream
+	// must be identical, names and content IDs aside.
+	ref, err := Generate("gzip", 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != ref.Len() {
+		t.Fatalf("lengths differ: %d vs %d", tr.Len(), ref.Len())
+	}
+	for i := range tr.Instrs {
+		if tr.Instrs[i] != ref.Instrs[i] {
+			t.Fatalf("instruction %d differs between profile and built-in generation", i)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# registry_smoke.sh — CI smoke test for the named workload registry.
+#
+# Boots a fomodeld and a 2-replica fleet behind a fomodelproxy, then
+# walks the registry loop end to end over real sockets: dump a built-in
+# profile, rename it, register it under a custom name (direct and via
+# the proxy), predict by that name — byte-equal to predicting the
+# built-in it was cloned from, because cache keys are content-hashed —
+# delete it, and verify the name 404s everywhere afterwards. Also pins
+# tenant ownership (cross-tenant delete is 409) and the re-register
+# staleness property (same name, different content, different bytes).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N=${N:-20000}
+bin=$(mktemp -d)
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$bin"
+}
+trap cleanup EXIT
+
+echo "== build" >&2
+go build -o "$bin/fomodel" ./cmd/fomodel
+go build -o "$bin/fomodeld" ./cmd/fomodeld
+go build -o "$bin/fomodelproxy" ./cmd/fomodelproxy
+
+wait_ready() {
+    for _ in $(seq 1 200); do
+        if curl -fsS "$1/readyz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "endpoint never became ready: $1" >&2
+    return 1
+}
+
+echo "== boot: daemon, 2 replicas, proxy" >&2
+"$bin/fomodeld" -addr 127.0.0.1:8791 -n "$N" -warm=false >"$bin/ref.log" 2>&1 &
+pids+=($!)
+"$bin/fomodeld" -addr 127.0.0.1:8792 -n "$N" -warm=false >"$bin/rep1.log" 2>&1 &
+pids+=($!)
+"$bin/fomodeld" -addr 127.0.0.1:8793 -n "$N" -warm=false >"$bin/rep2.log" 2>&1 &
+pids+=($!)
+"$bin/fomodelproxy" -addr 127.0.0.1:8790 \
+    -replicas http://127.0.0.1:8792,http://127.0.0.1:8793 \
+    -n "$N" -probe-interval 500ms >"$bin/proxy.log" 2>&1 &
+pids+=($!)
+ref=http://127.0.0.1:8791
+proxy=http://127.0.0.1:8790
+wait_ready "$ref"
+wait_ready http://127.0.0.1:8792
+wait_ready http://127.0.0.1:8793
+wait_ready "$proxy"
+
+echo "== profile: dump gzip, rename to smoke-wl" >&2
+"$bin/fomodel" -dump-profile gzip | sed 's/"name": "gzip"/"name": "smoke-wl"/' >"$bin/profile.json"
+
+post() {  # $1 base, $2 path, $3 body-file-or-inline, extra args after
+    local base=$1 path=$2 body=$3; shift 3
+    curl -fsS -X POST -H 'Content-Type: application/json' "$@" -d "$body" "$base$path"
+}
+
+echo "== register -> predict-by-name -> delete -> 404 (direct daemon)" >&2
+post "$ref" /v1/workloads/smoke-wl @"$bin/profile.json" -H 'X-Tenant: alice' >"$bin/reg.json"
+grep -q '"content_hash"' "$bin/reg.json" || { echo "registration response missing content_hash" >&2; exit 1; }
+
+# Content-hash keying: predicting the registered clone must be
+# byte-equal to predicting the built-in it was cloned from, except for
+# the workload name echoed in the inputs.
+post "$ref" /v1/predict '{"bench": "smoke-wl"}' | sed 's/"smoke-wl"/"gzip"/g' >"$bin/got"
+post "$ref" /v1/predict '{"bench": "gzip"}' >"$bin/want"
+cmp -s "$bin/want" "$bin/got" || { echo "BYTE MISMATCH: registered clone vs built-in" >&2; diff "$bin/want" "$bin/got" >&2 || true; exit 1; }
+echo "ok: registered-name predict byte-equal to its built-in content" >&2
+
+# Tenant ownership: bob cannot delete alice's workload.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE -H 'X-Tenant: bob' "$ref/v1/workloads/smoke-wl")
+[ "$code" = 409 ] || { echo "cross-tenant delete returned $code, want 409" >&2; exit 1; }
+echo "ok: cross-tenant delete refused with 409" >&2
+
+curl -fsS -X DELETE -H 'X-Tenant: alice' "$ref/v1/workloads/smoke-wl" >/dev/null
+code=$(curl -s -o /dev/null -w '%{http_code}' "$ref/v1/workloads/smoke-wl")
+[ "$code" = 404 ] || { echo "deleted workload GET returned $code, want 404" >&2; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+    -d '{"bench": "smoke-wl"}' "$ref/v1/predict")
+[ "$code" = 400 ] || { echo "predict after delete returned $code, want 400" >&2; exit 1; }
+echo "ok: delete -> GET 404, predict 400" >&2
+
+echo "== re-register with different content must change the bytes" >&2
+"$bin/fomodel" -dump-profile mcf | sed 's/"name": "mcf"/"name": "smoke-wl"/' >"$bin/profile2.json"
+post "$ref" /v1/workloads/smoke-wl @"$bin/profile.json" -H 'X-Tenant: alice' >/dev/null
+post "$ref" /v1/predict '{"bench": "smoke-wl"}' >"$bin/first"
+curl -fsS -X DELETE -H 'X-Tenant: alice' "$ref/v1/workloads/smoke-wl" >/dev/null
+post "$ref" /v1/workloads/smoke-wl @"$bin/profile2.json" -H 'X-Tenant: alice' >/dev/null
+post "$ref" /v1/predict '{"bench": "smoke-wl"}' >"$bin/second"
+cmp -s "$bin/first" "$bin/second" && { echo "re-registered name served stale bytes" >&2; exit 1; }
+echo "ok: re-register with different content changes the prediction" >&2
+
+echo "== proxy: registration fans out to every replica" >&2
+sed 's/"name": "smoke-wl"/"name": "proxy-wl"/' "$bin/profile.json" >"$bin/profile3.json"
+post "$proxy" /v1/workloads/proxy-wl @"$bin/profile3.json" -H 'X-Tenant: alice' >/dev/null
+for port in 8792 8793; do
+    curl -fsS "http://127.0.0.1:$port/v1/workloads/proxy-wl" >/dev/null \
+        || { echo "replica :$port missing the proxied registration" >&2; exit 1; }
+done
+post "$proxy" /v1/predict '{"bench": "proxy-wl"}' >"$bin/via_proxy"
+post http://127.0.0.1:8792 /v1/predict '{"bench": "proxy-wl"}' >"$bin/via_replica"
+cmp -s "$bin/via_proxy" "$bin/via_replica" || { echo "BYTE MISMATCH: proxy vs replica predict-by-name" >&2; exit 1; }
+curl -fsS -X DELETE -H 'X-Tenant: alice' "$proxy/v1/workloads/proxy-wl" >/dev/null
+for port in 8792 8793; do
+    code=$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$port/v1/workloads/proxy-wl")
+    [ "$code" = 404 ] || { echo "replica :$port still serves the deleted name: $code" >&2; exit 1; }
+done
+echo "ok: proxy fan-out register/predict/delete across both replicas" >&2
+
+curl -fsS "$ref/metrics" | grep -q '^fomodeld_registry_registrations_total' \
+    || { echo "daemon /metrics missing registry counters" >&2; exit 1; }
+echo "registry smoke passed" >&2
